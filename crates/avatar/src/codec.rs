@@ -1,0 +1,358 @@
+//! The avatar-update wire format.
+//!
+//! Every tick, a client serialises its pose with this codec and ships it
+//! up the data channel; the server forwards it to other users (§5.1's
+//! "simply forward (part of) the data uploaded by one user to others").
+//! The byte cost per update is therefore the atom of the paper's
+//! throughput analysis.
+//!
+//! Layout (big-endian):
+//!
+//! ```text
+//! 0        4        8      9         11          12
+//! +--------+--------+------+----------+-----------+---------------...
+//! | avatar | tick   |flags |joint mask|blendshapes| joint data ...
+//! +--------+--------+------+----------+-----------+---------------...
+//! ```
+//!
+//! `flags`: bit 0 = full precision, bit 1 = velocities present. The
+//! 16-bit joint mask selects joints in [`Joint::ALL`] order, so joint ids
+//! never travel on the wire.
+
+use crate::embodiment::{Embodiment, Precision};
+use crate::quant;
+use crate::skeleton::{Joint, JointPose, Pose, Quat, Vec3};
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Fixed header length.
+pub const HEADER_LEN: usize = 12;
+
+/// An avatar state update.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AvatarUpdate {
+    /// Sender's avatar id.
+    pub avatar_id: u32,
+    /// Sender tick counter.
+    pub tick: u32,
+    /// The pose (joints present must match the embodiment's joint set).
+    pub pose: Pose,
+    /// Per-joint velocities, aligned with `pose.joints` (empty if the
+    /// embodiment does not send velocities).
+    pub velocities: Vec<Vec3>,
+    /// Codec precision used.
+    pub precision: Precision,
+}
+
+/// Bytes of one encoded update for an embodiment (codec payload only,
+/// excluding channel/transport headers).
+pub fn update_payload_size(e: &Embodiment) -> usize {
+    let per_joint = match e.precision {
+        Precision::Quantized => 10 + if e.velocities { 6 } else { 0 },
+        Precision::Full => 28 + if e.velocities { 12 } else { 0 },
+    };
+    let per_blend = match e.precision {
+        Precision::Quantized => 1,
+        Precision::Full => 4,
+    };
+    HEADER_LEN + e.joints.len() * per_joint + e.blendshapes * per_blend
+}
+
+/// Same as [`update_payload_size`] — retained as the public name used by
+/// the platform layer when computing wire budgets.
+pub fn update_wire_size(e: &Embodiment) -> usize {
+    update_payload_size(e)
+}
+
+fn joint_mask(joints: &[Joint]) -> u16 {
+    let mut mask = 0u16;
+    for j in joints {
+        let idx = Joint::ALL.iter().position(|x| x == j).expect("known joint");
+        mask |= 1 << idx;
+    }
+    mask
+}
+
+/// Encode an update. Panics if the pose's joints disagree with the
+/// declared embodiment-style fields (a caller bug).
+pub fn encode_update(u: &AvatarUpdate) -> Bytes {
+    let velocities = !u.velocities.is_empty();
+    if velocities {
+        assert_eq!(u.velocities.len(), u.pose.joints.len(), "velocity per joint");
+    }
+    let full = u.precision == Precision::Full;
+    let mut buf = BytesMut::new();
+    buf.put_u32(u.avatar_id);
+    buf.put_u32(u.tick);
+    buf.put_u8((full as u8) | (velocities as u8) << 1);
+    buf.put_u16(joint_mask(&u.pose.joints.iter().map(|(j, _)| *j).collect::<Vec<_>>()));
+    buf.put_u8(u.pose.blendshapes.len() as u8);
+
+    for (i, (_, jp)) in u.pose.joints.iter().enumerate() {
+        if full {
+            buf.put_f32(jp.position.x);
+            buf.put_f32(jp.position.y);
+            buf.put_f32(jp.position.z);
+            buf.put_f32(jp.rotation.x);
+            buf.put_f32(jp.rotation.y);
+            buf.put_f32(jp.rotation.z);
+            buf.put_f32(jp.rotation.w);
+        } else {
+            for q in quant::quantize_pos(jp.position) {
+                buf.put_u16(q);
+            }
+            buf.put_u32(quant::quantize_quat(jp.rotation));
+        }
+        if velocities {
+            let v = u.velocities[i];
+            if full {
+                buf.put_f32(v.x);
+                buf.put_f32(v.y);
+                buf.put_f32(v.z);
+            } else {
+                // mm/s in i16: ±32 m/s is far beyond human motion.
+                buf.put_i16((v.x * 1000.0).clamp(-32_000.0, 32_000.0) as i16);
+                buf.put_i16((v.y * 1000.0).clamp(-32_000.0, 32_000.0) as i16);
+                buf.put_i16((v.z * 1000.0).clamp(-32_000.0, 32_000.0) as i16);
+            }
+        }
+    }
+    for w in &u.pose.blendshapes {
+        if full {
+            buf.put_f32(*w);
+        } else {
+            buf.put_u8(quant::quantize_weight(*w));
+        }
+    }
+    buf.freeze()
+}
+
+/// Decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Buffer ended before the declared content.
+    Truncated,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "truncated avatar update")
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.pos + n > self.data.len() {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        let s = self.take(2)?;
+        Ok(u16::from_be_bytes([s[0], s[1]]))
+    }
+    fn i16(&mut self) -> Result<i16, CodecError> {
+        let s = self.take(2)?;
+        Ok(i16::from_be_bytes([s[0], s[1]]))
+    }
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        let s = self.take(4)?;
+        Ok(u32::from_be_bytes([s[0], s[1], s[2], s[3]]))
+    }
+    fn f32(&mut self) -> Result<f32, CodecError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+}
+
+/// Decode an update.
+pub fn decode_update(data: &[u8]) -> Result<AvatarUpdate, CodecError> {
+    let mut r = Reader { data, pos: 0 };
+    let avatar_id = r.u32()?;
+    let tick = r.u32()?;
+    let flags = r.u8()?;
+    let mask = r.u16()?;
+    let n_blend = r.u8()? as usize;
+    let full = flags & 1 != 0;
+    let has_vel = flags & 2 != 0;
+
+    let mut joints = Vec::new();
+    let mut velocities = Vec::new();
+    for (idx, joint) in Joint::ALL.iter().enumerate() {
+        if mask & (1 << idx) == 0 {
+            continue;
+        }
+        let (position, rotation) = if full {
+            let p = Vec3::new(r.f32()?, r.f32()?, r.f32()?);
+            let q = Quat { x: r.f32()?, y: r.f32()?, z: r.f32()?, w: r.f32()? };
+            (p, q)
+        } else {
+            let p = quant::dequantize_pos([r.u16()?, r.u16()?, r.u16()?]);
+            let q = quant::dequantize_quat(r.u32()?);
+            (p, q)
+        };
+        joints.push((*joint, JointPose { position, rotation }));
+        if has_vel {
+            let v = if full {
+                Vec3::new(r.f32()?, r.f32()?, r.f32()?)
+            } else {
+                Vec3::new(
+                    r.i16()? as f32 / 1000.0,
+                    r.i16()? as f32 / 1000.0,
+                    r.i16()? as f32 / 1000.0,
+                )
+            };
+            velocities.push(v);
+        }
+    }
+    let mut blendshapes = Vec::with_capacity(n_blend);
+    for _ in 0..n_blend {
+        blendshapes.push(if full { r.f32()? } else { quant::dequantize_weight(r.u8()?) });
+    }
+
+    Ok(AvatarUpdate {
+        avatar_id,
+        tick,
+        pose: Pose { joints, blendshapes },
+        velocities,
+        precision: if full { Precision::Full } else { Precision::Quantized },
+    })
+}
+
+/// Build an update for a pose under an embodiment profile.
+pub fn make_update(avatar_id: u32, tick: u32, e: &Embodiment, pose: Pose, velocities: Vec<Vec3>) -> AvatarUpdate {
+    let velocities = if e.velocities {
+        if velocities.is_empty() {
+            vec![Vec3::ZERO; pose.joints.len()]
+        } else {
+            velocities
+        }
+    } else {
+        Vec::new()
+    };
+    AvatarUpdate { avatar_id, tick, pose, velocities, precision: e.precision }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_pose(e: &Embodiment) -> Pose {
+        let mut pose = Pose::rest(&e.joints, e.blendshapes);
+        for (i, (_, jp)) in pose.joints.iter_mut().enumerate() {
+            jp.position = Vec3::new(i as f32 * 0.3 - 2.0, 1.2 + i as f32 * 0.05, 0.5);
+            jp.rotation = Quat::from_yaw(i as f32 * 0.4);
+        }
+        for (i, w) in pose.blendshapes.iter_mut().enumerate() {
+            *w = (i as f32 / 10.0).min(1.0);
+        }
+        pose
+    }
+
+    #[test]
+    fn encoded_size_matches_prediction_for_all_profiles() {
+        for e in [
+            Embodiment::upper_torso_no_face(),
+            Embodiment::upper_torso_hands_no_face(),
+            Embodiment::upper_torso_simple_face(),
+            Embodiment::full_body_cartoon(),
+            Embodiment::human_like(),
+            Embodiment::photorealistic(),
+        ] {
+            let u = make_update(1, 0, &e, sample_pose(&e), Vec::new());
+            let bytes = encode_update(&u);
+            assert_eq!(bytes.len(), update_payload_size(&e), "profile {}", e.name);
+        }
+    }
+
+    #[test]
+    fn quantized_roundtrip_preserves_pose_within_error() {
+        let e = Embodiment::full_body_cartoon();
+        let u = make_update(42, 7, &e, sample_pose(&e), Vec::new());
+        let dec = decode_update(&encode_update(&u)).unwrap();
+        assert_eq!(dec.avatar_id, 42);
+        assert_eq!(dec.tick, 7);
+        assert_eq!(dec.pose.joints.len(), u.pose.joints.len());
+        for ((j1, p1), (j2, p2)) in u.pose.joints.iter().zip(dec.pose.joints.iter()) {
+            assert_eq!(j1, j2);
+            assert!(p1.position.distance(p2.position) < 0.003, "joint {j1:?}");
+            assert!(p1.rotation.angle_to(p2.rotation) < 0.01);
+        }
+        for (w1, w2) in u.pose.blendshapes.iter().zip(dec.pose.blendshapes.iter()) {
+            assert!((w1 - w2).abs() < 0.005);
+        }
+    }
+
+    #[test]
+    fn full_precision_roundtrip_is_exact() {
+        let e = Embodiment::human_like();
+        let mut vel = Vec::new();
+        for i in 0..e.joints.len() {
+            vel.push(Vec3::new(0.1 * i as f32, -0.2, 0.05));
+        }
+        let u = make_update(9, 100, &e, sample_pose(&e), vel.clone());
+        let dec = decode_update(&encode_update(&u)).unwrap();
+        assert_eq!(dec.pose, u.pose);
+        assert_eq!(dec.velocities, vel);
+        assert_eq!(dec.precision, Precision::Full);
+    }
+
+    #[test]
+    fn velocities_survive_quantized_roundtrip() {
+        let e = Embodiment::upper_torso_simple_face();
+        let vel: Vec<Vec3> =
+            (0..e.joints.len()).map(|i| Vec3::new(0.5 * i as f32, 1.5, -0.25)).collect();
+        let u = make_update(1, 1, &e, sample_pose(&e), vel.clone());
+        let dec = decode_update(&encode_update(&u)).unwrap();
+        for (a, b) in vel.iter().zip(dec.velocities.iter()) {
+            assert!(a.distance(*b) < 0.002, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_update_rejected() {
+        let e = Embodiment::human_like();
+        let u = make_update(1, 1, &e, sample_pose(&e), Vec::new());
+        let bytes = encode_update(&u);
+        for cut in [0, 5, HEADER_LEN, bytes.len() - 1] {
+            assert_eq!(decode_update(&bytes[..cut]), Err(CodecError::Truncated), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn make_update_fills_zero_velocities_when_profile_requires() {
+        let e = Embodiment::human_like();
+        let u = make_update(1, 1, &e, sample_pose(&e), Vec::new());
+        assert_eq!(u.velocities.len(), e.joints.len());
+        let e2 = Embodiment::upper_torso_no_face();
+        let u2 = make_update(1, 1, &e2, sample_pose(&e2), Vec::new());
+        assert!(u2.velocities.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_decode_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = decode_update(&data);
+        }
+
+        #[test]
+        fn prop_roundtrip_id_and_tick(id in any::<u32>(), tick in any::<u32>()) {
+            let e = Embodiment::upper_torso_no_face();
+            let u = make_update(id, tick, &e, sample_pose(&e), Vec::new());
+            let dec = decode_update(&encode_update(&u)).unwrap();
+            prop_assert_eq!(dec.avatar_id, id);
+            prop_assert_eq!(dec.tick, tick);
+        }
+    }
+}

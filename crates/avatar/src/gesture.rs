@@ -1,0 +1,255 @@
+//! Controller-gesture recognition driving facial expressions.
+//!
+//! §5.2: "only Worlds updates avatars' facial expressions via hand
+//! gesture recognition by tracking users' hand motions through the
+//! headset's controllers" — Figure 5 shows thumbs-up producing a smile
+//! and thumbs-down a frown. [`GestureRecognizer`] classifies a stream of
+//! controller samples into gestures and maps them to expressions, which
+//! the Worlds platform model folds into its avatar updates (raising the
+//! blendshape traffic that gives Worlds its 10× data rate).
+
+use crate::skeleton::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// One controller sample: where the hand is and which way the thumb
+/// points (unit vector in room coordinates).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HandSample {
+    /// Hand position.
+    pub position: Vec3,
+    /// Thumb axis direction (unit).
+    pub thumb_dir: Vec3,
+}
+
+/// A recognised hand gesture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Gesture {
+    /// Thumb pointing up, hand raised.
+    ThumbsUp,
+    /// Thumb pointing down.
+    ThumbsDown,
+    /// Rapid lateral oscillation at shoulder height.
+    Wave,
+}
+
+/// A facial expression produced by a gesture (Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Expression {
+    /// Resting face.
+    Neutral,
+    /// Smile (thumbs-up reaction).
+    Smile,
+    /// Frown (thumbs-down reaction).
+    Frown,
+    /// Open-mouth greeting (wave reaction).
+    Greeting,
+}
+
+impl Gesture {
+    /// The expression a recognised gesture triggers.
+    pub fn expression(self) -> Expression {
+        match self {
+            Gesture::ThumbsUp => Expression::Smile,
+            Gesture::ThumbsDown => Expression::Frown,
+            Gesture::Wave => Expression::Greeting,
+        }
+    }
+}
+
+/// Frames of consistent evidence required before a gesture is reported.
+pub const CONFIRM_FRAMES: usize = 5;
+/// Vertical thumb-component threshold for thumbs-up/down.
+const THUMB_AXIS_THRESHOLD: f32 = 0.8;
+/// Minimum hand height for deliberate gestures (metres).
+const HAND_RAISED_Y: f32 = 0.9;
+/// Lateral speed threshold for wave detection (m/s between samples at
+/// the nominal frame interval).
+const WAVE_SPEED: f32 = 0.8;
+/// Direction changes within the window required for a wave.
+const WAVE_REVERSALS: usize = 2;
+
+/// Streaming gesture classifier for one hand.
+#[derive(Debug, Default)]
+pub struct GestureRecognizer {
+    window: Vec<HandSample>,
+    last_reported: Option<Gesture>,
+}
+
+impl GestureRecognizer {
+    /// Create an empty recognizer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed one sample (call at the tracking rate, e.g. 30-70 Hz).
+    /// Returns a gesture when newly recognised. The same gesture is not
+    /// re-reported until the hand leaves the gesture posture.
+    pub fn feed(&mut self, sample: HandSample) -> Option<Gesture> {
+        self.window.push(sample);
+        let cap = CONFIRM_FRAMES.max(8);
+        if self.window.len() > cap {
+            self.window.remove(0);
+        }
+        let current = self.classify();
+        match current {
+            Some(g) if self.last_reported != Some(g) => {
+                self.last_reported = Some(g);
+                Some(g)
+            }
+            Some(_) => None,
+            None => {
+                self.last_reported = None;
+                None
+            }
+        }
+    }
+
+    fn classify(&self) -> Option<Gesture> {
+        if self.window.len() < CONFIRM_FRAMES {
+            return None;
+        }
+        let recent = &self.window[self.window.len() - CONFIRM_FRAMES..];
+
+        let raised = recent.iter().all(|s| s.position.y >= HAND_RAISED_Y);
+        if raised && recent.iter().all(|s| s.thumb_dir.y >= THUMB_AXIS_THRESHOLD) {
+            return Some(Gesture::ThumbsUp);
+        }
+        if recent.iter().all(|s| s.thumb_dir.y <= -THUMB_AXIS_THRESHOLD) {
+            return Some(Gesture::ThumbsDown);
+        }
+
+        // Wave: raised hand with fast lateral motion that reverses.
+        if raised {
+            let mut reversals = 0;
+            let mut prev_sign = 0i8;
+            let mut fast = true;
+            for w in recent.windows(2) {
+                let dx = w[1].position.x - w[0].position.x;
+                if dx.abs() < WAVE_SPEED / 70.0 {
+                    fast = false;
+                }
+                let sign = if dx > 0.0 { 1 } else { -1 };
+                if prev_sign != 0 && sign != prev_sign {
+                    reversals += 1;
+                }
+                prev_sign = sign;
+            }
+            if fast && reversals >= WAVE_REVERSALS {
+                return Some(Gesture::Wave);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn up_sample() -> HandSample {
+        HandSample { position: Vec3::new(0.3, 1.2, 0.4), thumb_dir: Vec3::new(0.0, 1.0, 0.0) }
+    }
+
+    fn down_sample() -> HandSample {
+        HandSample { position: Vec3::new(0.3, 0.7, 0.4), thumb_dir: Vec3::new(0.0, -1.0, 0.0) }
+    }
+
+    fn neutral_sample() -> HandSample {
+        HandSample { position: Vec3::new(0.3, 0.8, 0.4), thumb_dir: Vec3::new(1.0, 0.0, 0.0) }
+    }
+
+    #[test]
+    fn thumbs_up_recognised_after_confirm_frames() {
+        let mut r = GestureRecognizer::new();
+        for i in 0..CONFIRM_FRAMES - 1 {
+            assert_eq!(r.feed(up_sample()), None, "frame {i}");
+        }
+        assert_eq!(r.feed(up_sample()), Some(Gesture::ThumbsUp));
+        assert_eq!(Gesture::ThumbsUp.expression(), Expression::Smile);
+    }
+
+    #[test]
+    fn thumbs_down_recognised_even_lowered() {
+        let mut r = GestureRecognizer::new();
+        let mut got = None;
+        for _ in 0..CONFIRM_FRAMES {
+            got = r.feed(down_sample()).or(got);
+        }
+        assert_eq!(got, Some(Gesture::ThumbsDown));
+        assert_eq!(Gesture::ThumbsDown.expression(), Expression::Frown);
+    }
+
+    #[test]
+    fn gesture_not_rereported_while_held() {
+        let mut r = GestureRecognizer::new();
+        let mut reports = 0;
+        for _ in 0..30 {
+            if r.feed(up_sample()).is_some() {
+                reports += 1;
+            }
+        }
+        assert_eq!(reports, 1, "held gesture fires once");
+        // Release, then repeat: fires again.
+        for _ in 0..8 {
+            assert_eq!(r.feed(neutral_sample()), None);
+        }
+        let mut again = 0;
+        for _ in 0..10 {
+            if r.feed(up_sample()).is_some() {
+                again += 1;
+            }
+        }
+        assert_eq!(again, 1);
+    }
+
+    #[test]
+    fn jittery_thumb_not_recognised() {
+        let mut r = GestureRecognizer::new();
+        for i in 0..20 {
+            let s = if i % 2 == 0 { up_sample() } else { neutral_sample() };
+            assert_eq!(r.feed(s), None, "alternating frames never confirm");
+        }
+    }
+
+    #[test]
+    fn wave_recognised_from_lateral_oscillation() {
+        let mut r = GestureRecognizer::new();
+        let mut got = None;
+        for i in 0..20 {
+            // ±8 cm swings per frame at shoulder height.
+            let x = if i % 2 == 0 { 0.2 } else { 0.28 };
+            let s = HandSample {
+                position: Vec3::new(x, 1.3, 0.3),
+                thumb_dir: Vec3::new(1.0, 0.0, 0.0),
+            };
+            got = r.feed(s).or(got);
+        }
+        assert_eq!(got, Some(Gesture::Wave));
+        assert_eq!(Gesture::Wave.expression(), Expression::Greeting);
+    }
+
+    #[test]
+    fn slow_drift_is_not_a_wave() {
+        let mut r = GestureRecognizer::new();
+        for i in 0..30 {
+            let s = HandSample {
+                position: Vec3::new(0.2 + i as f32 * 0.001, 1.3, 0.3),
+                thumb_dir: Vec3::new(1.0, 0.0, 0.0),
+            };
+            assert_eq!(r.feed(s), None);
+        }
+    }
+
+    #[test]
+    fn lowered_thumbs_up_not_recognised() {
+        // Thumbs-up requires a deliberately raised hand.
+        let mut r = GestureRecognizer::new();
+        for _ in 0..10 {
+            let s = HandSample {
+                position: Vec3::new(0.3, 0.4, 0.4),
+                thumb_dir: Vec3::new(0.0, 1.0, 0.0),
+            };
+            assert_eq!(r.feed(s), None);
+        }
+    }
+}

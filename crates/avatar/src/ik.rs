@@ -1,0 +1,179 @@
+//! Two-bone inverse kinematics.
+//!
+//! The paper notes that avatars lack arms and legs "due to the lack of
+//! capture devices for modeling the lower limbs", and that the future
+//! Metaverse should "recreate the full-body motion via kinematics"
+//! (Implication 2). This module implements the standard analytic two-bone
+//! IK solver that infers an elbow (or knee) from the tracked endpoints —
+//! the building block of that extension, used by the "better embodiment"
+//! ablation to upgrade three-point tracking into full-arm poses.
+
+use crate::skeleton::Vec3;
+
+/// Result of a two-bone IK solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IkSolution {
+    /// Inferred middle-joint (elbow/knee) position.
+    pub mid: Vec3,
+    /// Effector position actually reached (equals the target when
+    /// reachable, else the closest point on the reachable sphere).
+    pub effector: Vec3,
+    /// Whether the target was within reach.
+    pub reachable: bool,
+}
+
+/// Solve a two-bone chain.
+///
+/// * `root` — fixed joint (shoulder / hip)
+/// * `target` — desired effector position (hand / foot)
+/// * `len_a` — upper bone length (root→mid)
+/// * `len_b` — lower bone length (mid→effector)
+/// * `pole` — bend-direction hint; the middle joint bends toward it
+///
+/// Degenerate chains (zero-length bones, coincident target) resolve
+/// deterministically rather than producing NaNs.
+pub fn solve_two_bone(root: Vec3, target: Vec3, len_a: f32, len_b: f32, pole: Vec3) -> IkSolution {
+    assert!(len_a > 0.0 && len_b > 0.0, "bone lengths must be positive");
+    let to_target = target - root;
+    let dist = to_target.length();
+
+    // Coincident target: fold the chain toward the pole.
+    if dist < 1e-6 {
+        let dir = (pole - root).normalized();
+        let dir = if dir == Vec3::ZERO { Vec3::new(1.0, 0.0, 0.0) } else { dir };
+        return IkSolution { mid: root + dir * len_a, effector: root, reachable: len_a == len_b };
+    }
+
+    let max_reach = len_a + len_b;
+    let min_reach = (len_a - len_b).abs();
+    let clamped = dist.clamp(min_reach.max(1e-6), max_reach);
+    let reachable = (min_reach..=max_reach).contains(&dist);
+    let dir = to_target * (1.0 / dist);
+    let effector = root + dir * clamped;
+
+    // Law of cosines: distance from root to the mid joint's projection.
+    let a = (len_a * len_a - len_b * len_b + clamped * clamped) / (2.0 * clamped);
+    let h_sq = (len_a * len_a - a * a).max(0.0);
+    let h = h_sq.sqrt();
+
+    // Bend plane: toward the pole, orthogonalised against the chain axis.
+    let to_pole = pole - root;
+    let bend = (to_pole - dir * to_pole.dot(dir)).normalized();
+    let bend = if bend == Vec3::ZERO {
+        // Pole collinear with the chain: pick any perpendicular.
+        let fallback = if dir.x.abs() < 0.9 { Vec3::new(1.0, 0.0, 0.0) } else { Vec3::new(0.0, 1.0, 0.0) };
+        (fallback - dir * fallback.dot(dir)).normalized()
+    } else {
+        bend
+    };
+
+    let mid = root + dir * a + bend * h;
+    IkSolution { mid, effector, reachable }
+}
+
+/// Infer an elbow from shoulder and hand (the untracked-arm case):
+/// anatomical bone lengths, elbow biased downward-outward.
+pub fn infer_elbow(shoulder: Vec3, hand: Vec3) -> IkSolution {
+    let pole = shoulder + Vec3::new(0.0, -0.5, -0.1);
+    solve_two_bone(shoulder, hand, 0.28, 0.26, pole)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const EPS: f32 = 1e-3;
+
+    #[test]
+    fn reachable_target_is_hit_exactly() {
+        let root = Vec3::new(0.0, 1.4, 0.0);
+        let target = Vec3::new(0.3, 1.1, 0.2);
+        let sol = solve_two_bone(root, target, 0.28, 0.26, root + Vec3::new(0.0, -1.0, 0.0));
+        assert!(sol.reachable);
+        assert!(sol.effector.distance(target) < EPS);
+        // Bone lengths are preserved.
+        assert!((sol.mid.distance(root) - 0.28).abs() < EPS);
+        assert!((sol.mid.distance(sol.effector) - 0.26).abs() < EPS);
+    }
+
+    #[test]
+    fn unreachable_target_clamps_to_full_extension() {
+        let root = Vec3::ZERO;
+        let target = Vec3::new(10.0, 0.0, 0.0);
+        let sol = solve_two_bone(root, target, 0.3, 0.3, Vec3::new(0.0, -1.0, 0.0));
+        assert!(!sol.reachable);
+        assert!((sol.effector.distance(root) - 0.6).abs() < EPS, "full extension");
+        // Effector lies on the line to the target.
+        assert!(sol.effector.normalized().distance(Vec3::new(1.0, 0.0, 0.0)) < EPS);
+    }
+
+    #[test]
+    fn too_close_target_clamps_to_min_reach() {
+        let root = Vec3::ZERO;
+        let target = Vec3::new(0.01, 0.0, 0.0);
+        let sol = solve_two_bone(root, target, 0.4, 0.2, Vec3::new(0.0, 1.0, 0.0));
+        assert!(!sol.reachable);
+        assert!((sol.effector.distance(root) - 0.2).abs() < EPS, "min reach |a-b|");
+    }
+
+    #[test]
+    fn elbow_bends_toward_pole() {
+        let root = Vec3::ZERO;
+        let target = Vec3::new(0.4, 0.0, 0.0);
+        let down = solve_two_bone(root, target, 0.3, 0.3, Vec3::new(0.0, -1.0, 0.0));
+        let up = solve_two_bone(root, target, 0.3, 0.3, Vec3::new(0.0, 1.0, 0.0));
+        assert!(down.mid.y < 0.0);
+        assert!(up.mid.y > 0.0);
+    }
+
+    #[test]
+    fn degenerate_cases_do_not_nan() {
+        let root = Vec3::new(1.0, 1.0, 1.0);
+        // Coincident target.
+        let s1 = solve_two_bone(root, root, 0.3, 0.3, root + Vec3::new(0.0, 1.0, 0.0));
+        assert!(s1.mid.x.is_finite() && s1.mid.y.is_finite());
+        // Pole collinear with chain.
+        let s2 = solve_two_bone(root, root + Vec3::new(0.5, 0.0, 0.0), 0.3, 0.3, root + Vec3::new(2.0, 0.0, 0.0));
+        assert!(s2.mid.y.is_finite());
+        assert!((s2.mid.distance(root) - 0.3).abs() < EPS);
+    }
+
+    #[test]
+    fn infer_elbow_anatomically_plausible() {
+        let shoulder = Vec3::new(0.2, 1.45, 0.0);
+        let hand = Vec3::new(0.35, 1.0, 0.25);
+        let sol = infer_elbow(shoulder, hand);
+        assert!(sol.reachable);
+        // Elbow sits below the shoulder and above the hand's lowest reach.
+        assert!(sol.mid.y < shoulder.y);
+        assert!((sol.mid.distance(shoulder) - 0.28).abs() < EPS);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bone_lengths_always_preserved(
+            tx in -1.0f32..1.0, ty in -1.0f32..1.0, tz in -1.0f32..1.0,
+            la in 0.1f32..0.5, lb in 0.1f32..0.5,
+        ) {
+            let root = Vec3::ZERO;
+            let sol = solve_two_bone(root, Vec3::new(tx, ty, tz), la, lb, Vec3::new(0.0, -1.0, 0.0));
+            prop_assert!((sol.mid.distance(root) - la).abs() < 1e-2);
+            prop_assert!((sol.mid.distance(sol.effector) - lb).abs() < 1e-2);
+            prop_assert!(sol.mid.x.is_finite() && sol.mid.y.is_finite() && sol.mid.z.is_finite());
+        }
+
+        #[test]
+        fn prop_reachable_iff_within_annulus(
+            d in 0.0f32..1.5, la in 0.1f32..0.5, lb in 0.1f32..0.5,
+        ) {
+            let root = Vec3::ZERO;
+            let target = Vec3::new(d, 0.0, 0.0);
+            let sol = solve_two_bone(root, target, la, lb, Vec3::new(0.0, 1.0, 0.0));
+            let within = d >= (la - lb).abs() && d <= la + lb;
+            if d > 1e-5 {
+                prop_assert_eq!(sol.reachable, within);
+            }
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Dead-reckoning: client-side motion prediction for remote avatars.
+//!
+//! §8.2 observes that even 20 % packet loss is imperceptible and
+//! speculates that "these platforms may compensate for the missing
+//! movement data of avatars through methods such as motion prediction."
+//! This module is that mechanism: between updates, a remote avatar is
+//! extrapolated along its last known velocities; when the next update
+//! arrives, the prediction error tells us how visible the gap would have
+//! been.
+
+use crate::codec::AvatarUpdate;
+use crate::skeleton::{Joint, JointPose, Pose};
+use svr_netsim::{SimDuration, SimTime};
+
+/// Tracks one remote avatar and predicts its pose between updates.
+#[derive(Debug)]
+pub struct DeadReckoner {
+    /// Last received update.
+    last: Option<(SimTime, AvatarUpdate)>,
+    /// Prediction errors measured at each update arrival (metres,
+    /// root-position error of the extrapolation vs the truth).
+    pub errors_m: Vec<f32>,
+    /// Cap on extrapolation: beyond this the avatar freezes instead of
+    /// drifting off (standard practice).
+    pub max_extrapolation: SimDuration,
+}
+
+impl Default for DeadReckoner {
+    fn default() -> Self {
+        DeadReckoner {
+            last: None,
+            errors_m: Vec::new(),
+            max_extrapolation: SimDuration::from_millis(500),
+        }
+    }
+}
+
+impl DeadReckoner {
+    /// Create with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Predicted pose at `now`, extrapolated from the last update.
+    pub fn predict(&self, now: SimTime) -> Option<Pose> {
+        let (at, update) = self.last.as_ref()?;
+        let dt = now.saturating_since(*at).min(self.max_extrapolation).as_secs_f64() as f32;
+        let mut pose = update.pose.clone();
+        if !update.velocities.is_empty() {
+            for (i, (_, jp)) in pose.joints.iter_mut().enumerate() {
+                if let Some(v) = update.velocities.get(i) {
+                    jp.position = jp.position + *v * dt;
+                }
+            }
+        }
+        Some(pose)
+    }
+
+    /// Ingest a new update, recording how far the prediction had drifted
+    /// from the now-known truth.
+    pub fn observe(&mut self, now: SimTime, update: AvatarUpdate) {
+        if let Some(predicted) = self.predict(now) {
+            let truth = update.pose.root_position();
+            let pred = predicted.root_position();
+            self.errors_m.push(truth.distance(pred));
+        }
+        self.last = Some((now, update));
+    }
+
+    /// Mean prediction error so far, metres.
+    pub fn mean_error_m(&self) -> f32 {
+        if self.errors_m.is_empty() {
+            return 0.0;
+        }
+        self.errors_m.iter().sum::<f32>() / self.errors_m.len() as f32
+    }
+
+    /// 95th-percentile error, metres.
+    pub fn p95_error_m(&self) -> f32 {
+        if self.errors_m.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.errors_m.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted[((sorted.len() - 1) as f32 * 0.95) as usize]
+    }
+
+    /// Whether the last update is older than the extrapolation cap (the
+    /// avatar appears frozen).
+    pub fn is_stale(&self, now: SimTime) -> bool {
+        match &self.last {
+            Some((at, _)) => now.saturating_since(*at) > self.max_extrapolation,
+            None => true,
+        }
+    }
+}
+
+/// Convenience: the root pose of a prediction (for render placement).
+pub fn predicted_root(reckoner: &DeadReckoner, now: SimTime) -> Option<JointPose> {
+    let pose = reckoner.predict(now)?;
+    pose.joint(Joint::Root).or_else(|| pose.joint(Joint::Head)).copied()
+}
+
+/// Perceptibility heuristic: a positional pop under ~12 cm between
+/// consecutive frames is hard to notice on today's rough avatars (§8.2's
+/// "users may not be able to perceive the difference").
+pub const PERCEPTIBLE_POP_M: f32 = 0.12;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::make_update;
+    use crate::embodiment::Embodiment;
+    use crate::motion::MotionState;
+    use crate::skeleton::Vec3;
+
+    fn walking_updates(
+        hz: f64,
+        seconds: f64,
+        drop: impl Fn(usize) -> bool,
+    ) -> (DeadReckoner, usize) {
+        let e = Embodiment::upper_torso_simple_face(); // sends velocities
+        let mut m = MotionState::new(3, Vec3::ZERO, 0.0);
+        m.walk_to(Vec3::new(50.0, 0.0, 0.0));
+        let mut r = DeadReckoner::new();
+        let dt = 1.0 / hz;
+        let mut dropped = 0;
+        let steps = (seconds * hz) as usize;
+        for k in 0..steps {
+            let (pose, vel) = m.step(dt, &e);
+            let update = make_update(1, k as u32, &e, pose, vel);
+            let now = SimTime::from_micros((k as f64 * dt * 1e6) as u64);
+            if drop(k) {
+                dropped += 1;
+                continue;
+            }
+            r.observe(now, update);
+        }
+        (r, dropped)
+    }
+
+    #[test]
+    fn lossless_stream_has_tiny_error() {
+        let (r, _) = walking_updates(28.0, 5.0, |_| false);
+        assert!(r.mean_error_m() < 0.02, "mean error {}", r.mean_error_m());
+    }
+
+    #[test]
+    fn twenty_percent_loss_stays_imperceptible() {
+        // §8.2: users perceive nothing even at 20% loss — dead reckoning
+        // keeps the positional pops below the perceptibility threshold.
+        let (r, dropped) = walking_updates(28.0, 5.0, |k| k % 5 == 4);
+        assert!(dropped > 20);
+        assert!(
+            r.p95_error_m() < PERCEPTIBLE_POP_M,
+            "p95 error {} m with 20% loss",
+            r.p95_error_m()
+        );
+    }
+
+    #[test]
+    fn error_grows_with_burst_loss() {
+        let (light, _) = walking_updates(28.0, 5.0, |k| k % 10 == 9);
+        // Burst loss: drop 9 of every 10 (90%).
+        let (heavy, _) = walking_updates(28.0, 5.0, |k| k % 10 != 0);
+        assert!(heavy.mean_error_m() > light.mean_error_m() * 2.0);
+    }
+
+    #[test]
+    fn extrapolation_is_capped() {
+        let e = Embodiment::upper_torso_simple_face();
+        let mut m = MotionState::new(1, Vec3::ZERO, 0.0);
+        m.walk_to(Vec3::new(50.0, 0.0, 0.0));
+        let (pose, vel) = m.step(0.1, &e);
+        let mut r = DeadReckoner::new();
+        r.observe(SimTime::ZERO, make_update(1, 0, &e, pose, vel));
+        let near = r.predict(SimTime::from_millis(400)).unwrap().root_position();
+        let far = r.predict(SimTime::from_secs(30)).unwrap().root_position();
+        // Beyond the cap the avatar freezes rather than walking to infinity.
+        let capped = r.predict(SimTime::from_millis(500)).unwrap().root_position();
+        assert!(far.distance(capped) < 1e-5, "frozen after cap");
+        assert!(near.distance(capped) < 0.2);
+        assert!(r.is_stale(SimTime::from_secs(30)));
+        assert!(!r.is_stale(SimTime::from_millis(100)));
+    }
+
+    #[test]
+    fn empty_reckoner_behaviour() {
+        let r = DeadReckoner::new();
+        assert!(r.predict(SimTime::ZERO).is_none());
+        assert_eq!(r.mean_error_m(), 0.0);
+        assert_eq!(r.p95_error_m(), 0.0);
+        assert!(r.is_stale(SimTime::ZERO));
+        assert!(predicted_root(&r, SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn updates_without_velocities_predict_last_pose() {
+        let e = Embodiment::upper_torso_no_face(); // no velocities
+        let mut m = MotionState::new(1, Vec3::ZERO, 0.0);
+        m.walk_to(Vec3::new(10.0, 0.0, 0.0));
+        let (pose, _) = m.step(0.1, &e);
+        let root = pose.root_position();
+        let mut r = DeadReckoner::new();
+        r.observe(SimTime::ZERO, make_update(1, 0, &e, pose, Vec::new()));
+        let pred = r.predict(SimTime::from_millis(300)).unwrap().root_position();
+        assert!(pred.distance(root) < 1e-6, "no velocity → hold position");
+    }
+}

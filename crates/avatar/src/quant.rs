@@ -1,0 +1,183 @@
+//! Position and rotation quantizers with bounded error.
+//!
+//! Networked avatar systems quantise poses to cut bandwidth. We use the
+//! two standard schemes: 16-bit fixed-point positions over the room
+//! bounds, and "smallest-three" rotation packing (drop the largest
+//! quaternion component, send the other three at 10 bits each).
+
+use crate::skeleton::{Quat, Vec3};
+
+/// Half-extent of the room coordinate range covered by the position
+/// quantizer (±32 m covers any social-VR event space).
+pub const POS_RANGE_M: f32 = 32.0;
+
+/// Worst-case position error per axis after a quantise/dequantise trip.
+pub const POS_MAX_ERROR_M: f32 = POS_RANGE_M / 65_535.0; // ~1 mm
+
+/// Quantise one coordinate to 16 bits.
+pub fn quantize_coord(v: f32) -> u16 {
+    let clamped = v.clamp(-POS_RANGE_M, POS_RANGE_M);
+    let unit = (clamped + POS_RANGE_M) / (2.0 * POS_RANGE_M); // [0,1]
+    (unit * 65_535.0).round() as u16
+}
+
+/// Dequantise one coordinate.
+pub fn dequantize_coord(q: u16) -> f32 {
+    (q as f32 / 65_535.0) * 2.0 * POS_RANGE_M - POS_RANGE_M
+}
+
+/// Quantise a position (3 × 16 bits).
+pub fn quantize_pos(v: Vec3) -> [u16; 3] {
+    [quantize_coord(v.x), quantize_coord(v.y), quantize_coord(v.z)]
+}
+
+/// Dequantise a position.
+pub fn dequantize_pos(q: [u16; 3]) -> Vec3 {
+    Vec3::new(dequantize_coord(q[0]), dequantize_coord(q[1]), dequantize_coord(q[2]))
+}
+
+const COMPONENT_BITS: u32 = 10;
+const COMPONENT_MAX: f32 = std::f32::consts::FRAC_1_SQRT_2; // |c| ≤ 1/√2 for non-largest
+
+/// Pack a unit quaternion into 32 bits with the smallest-three scheme:
+/// 2 bits select the dropped (largest-magnitude) component, 3 × 10 bits
+/// carry the rest.
+pub fn quantize_quat(q: Quat) -> u32 {
+    let q = q.normalized();
+    let comps = [q.x, q.y, q.z, q.w];
+    let (largest_idx, _) = comps
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+        .unwrap();
+    // Canonical sign: make the dropped component non-negative.
+    let sign = if comps[largest_idx] < 0.0 { -1.0 } else { 1.0 };
+    let mut packed = largest_idx as u32;
+    let mut shift = 2;
+    for (i, c) in comps.iter().enumerate() {
+        if i == largest_idx {
+            continue;
+        }
+        let v = (c * sign).clamp(-COMPONENT_MAX, COMPONENT_MAX);
+        let unit = (v / COMPONENT_MAX + 1.0) / 2.0; // [0,1]
+        let qv = (unit * ((1 << COMPONENT_BITS) - 1) as f32).round() as u32;
+        packed |= qv << shift;
+        shift += COMPONENT_BITS;
+    }
+    packed
+}
+
+/// Unpack a smallest-three quaternion.
+pub fn dequantize_quat(packed: u32) -> Quat {
+    let largest_idx = (packed & 0b11) as usize;
+    let mut comps = [0.0f32; 4];
+    let mut shift = 2;
+    let mut sum_sq = 0.0;
+    for (i, slot) in comps.iter_mut().enumerate() {
+        if i == largest_idx {
+            continue;
+        }
+        let qv = (packed >> shift) & ((1 << COMPONENT_BITS) - 1);
+        let unit = qv as f32 / ((1 << COMPONENT_BITS) - 1) as f32;
+        let v = (unit * 2.0 - 1.0) * COMPONENT_MAX;
+        *slot = v;
+        sum_sq += v * v;
+        shift += COMPONENT_BITS;
+    }
+    comps[largest_idx] = (1.0 - sum_sq).max(0.0).sqrt();
+    Quat { x: comps[0], y: comps[1], z: comps[2], w: comps[3] }.normalized()
+}
+
+/// Quantise a blendshape weight in `[0, 1]` to a byte.
+pub fn quantize_weight(w: f32) -> u8 {
+    (w.clamp(0.0, 1.0) * 255.0).round() as u8
+}
+
+/// Dequantise a blendshape weight.
+pub fn dequantize_weight(b: u8) -> f32 {
+    b as f32 / 255.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn position_roundtrip_error_bounded() {
+        for v in [-32.0f32, -10.5, -0.001, 0.0, 0.001, 3.375, 31.99] {
+            let err = (dequantize_coord(quantize_coord(v)) - v).abs();
+            assert!(err <= POS_MAX_ERROR_M, "v={v} err={err}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_positions_clamp() {
+        assert_eq!(quantize_coord(1e9), u16::MAX);
+        assert_eq!(quantize_coord(-1e9), 0);
+        assert!((dequantize_coord(quantize_coord(100.0)) - 32.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn quat_roundtrip_small_angle_error() {
+        let cases = [
+            Quat::IDENTITY,
+            Quat::from_yaw(0.5),
+            Quat::from_yaw(3.0),
+            Quat { x: 0.5, y: 0.5, z: 0.5, w: 0.5 },
+            Quat { x: -0.7, y: 0.1, z: 0.1, w: 0.7 }.normalized(),
+        ];
+        for q in cases {
+            let back = dequantize_quat(quantize_quat(q));
+            let err = q.angle_to(back);
+            assert!(err < 0.01, "angle error {err} rad for {q:?}");
+        }
+    }
+
+    #[test]
+    fn quat_sign_canonicalisation() {
+        // q and -q are the same rotation; the codec must treat them alike.
+        let q = Quat { x: 0.3, y: -0.4, z: 0.5, w: 0.6 }.normalized();
+        let neg = Quat { x: -q.x, y: -q.y, z: -q.z, w: -q.w };
+        let a = dequantize_quat(quantize_quat(q));
+        let b = dequantize_quat(quantize_quat(neg));
+        assert!(a.angle_to(b) < 1e-3);
+    }
+
+    #[test]
+    fn weight_roundtrip() {
+        for w in [0.0f32, 0.25, 0.5, 1.0] {
+            let err = (dequantize_weight(quantize_weight(w)) - w).abs();
+            assert!(err < 1.0 / 255.0 + 1e-6);
+        }
+        assert_eq!(quantize_weight(2.0), 255);
+        assert_eq!(quantize_weight(-1.0), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_position_roundtrip(x in -32.0f32..32.0, y in -32.0f32..32.0, z in -32.0f32..32.0) {
+            let v = Vec3::new(x, y, z);
+            let back = dequantize_pos(quantize_pos(v));
+            prop_assert!(back.distance(v) <= POS_MAX_ERROR_M * 2.0);
+        }
+
+        #[test]
+        fn prop_quat_roundtrip(
+            x in -1.0f32..1.0, y in -1.0f32..1.0, z in -1.0f32..1.0, w in -1.0f32..1.0
+        ) {
+            prop_assume!(x*x + y*y + z*z + w*w > 0.01);
+            let q = Quat { x, y, z, w }.normalized();
+            let back = dequantize_quat(quantize_quat(q));
+            let err = q.angle_to(back);
+            prop_assert!(err < 0.01, "error {} rad", err);
+        }
+
+        #[test]
+        fn prop_quat_decode_is_unit(packed in any::<u32>()) {
+            let q = dequantize_quat(packed);
+            let n = (q.x*q.x + q.y*q.y + q.z*q.z + q.w*q.w).sqrt();
+            prop_assert!((n - 1.0).abs() < 1e-3);
+        }
+    }
+}

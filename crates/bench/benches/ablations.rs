@@ -1,0 +1,66 @@
+//! Ablation benches: the §6.1 viewport probe, the §6.3 remote-rendering
+//! comparison, the §5.1 device-independence check, and the Implication-2
+//! embodiment cost curve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Once;
+use svr_bench::print_once;
+use svr_core::experiments::{ablations, viewport};
+use svr_platform::PlatformId;
+
+static VP: Once = Once::new();
+static RR: Once = Once::new();
+static DI: Once = Once::new();
+
+fn bench_viewport(c: &mut Criterion) {
+    let cfg = viewport::ViewportConfig::full();
+    print_once(&VP, viewport::run(PlatformId::AltspaceVr, cfg));
+    let mut g = c.benchmark_group("viewport_probe");
+    g.sample_size(10);
+    let small = viewport::ViewportConfig::quick();
+    g.bench_function("altspace_150_degrees", |b| {
+        b.iter(|| std::hint::black_box(viewport::run(PlatformId::AltspaceVr, small)))
+    });
+    g.finish();
+}
+
+fn bench_remote_rendering(c: &mut Criterion) {
+    let cfg = ablations::AblationConfig {
+        user_counts: vec![2, 5, 10, 15],
+        trials: 1,
+        duration_s: 35,
+        video_mbps: 8.0,
+        seed: 0xAB1A,
+    };
+    print_once(&RR, ablations::remote_rendering(&cfg));
+    let mut g = c.benchmark_group("remote_rendering");
+    g.sample_size(10);
+    let small = ablations::AblationConfig::quick();
+    g.bench_function("direct_vs_remote", |b| {
+        b.iter(|| std::hint::black_box(ablations::remote_rendering(&small)))
+    });
+    g.finish();
+}
+
+fn bench_device_independence(c: &mut Criterion) {
+    DI.call_once(|| {
+        let r = ablations::device_independence(0xD11CE);
+        println!(
+            "\n§5.1 device independence: Quest up {:.1} Kbps == PC up {:.1} Kbps; Quest FPS {:.1} vs PC FPS {:.1}",
+            r.quest_up_kbps, r.pc_up_kbps, r.quest_fps, r.pc_fps
+        );
+        println!("Implication-2 embodiment cost curve (Kbps @ 30 Hz):");
+        for (name, kbps) in ablations::embodiment_cost_curve() {
+            println!("  {name:<24} {kbps:>9.1}");
+        }
+    });
+    let mut g = c.benchmark_group("device_independence");
+    g.sample_size(10);
+    g.bench_function("quest_vs_pc", |b| {
+        b.iter(|| std::hint::black_box(ablations::device_independence(0xD11CE)))
+    });
+    g.finish();
+}
+
+criterion_group!(ablation_benches, bench_viewport, bench_remote_rendering, bench_device_independence);
+criterion_main!(ablation_benches);

@@ -1,0 +1,107 @@
+//! Regenerate the paper's Figures 12 and 13 and the §8.2 tolerance
+//! sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Once;
+use svr_bench::print_once;
+use svr_core::experiments::{disruption, fig12, fig13};
+use svr_platform::PlatformId;
+
+static F12: Once = Once::new();
+static F13A: Once = Once::new();
+static F13B: Once = Once::new();
+static D82: Once = Once::new();
+
+fn bench_fig12(c: &mut Criterion) {
+    let cfg = fig12::Fig12Config {
+        stages_mbps: vec![1.0, 0.7, 0.5, 0.3, 0.2, 0.1],
+        stage_s: 20,
+        tail_s: 30,
+        start_s: 15,
+        seed: 0xF1612,
+    };
+    print_once(&F12, fig12::run(&cfg));
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    let small = fig12::Fig12Config::quick();
+    g.bench_function("worlds_downlink_staircase", |b| {
+        b.iter(|| std::hint::black_box(fig12::run(&small)))
+    });
+    g.finish();
+}
+
+fn bench_fig13_top(c: &mut Criterion) {
+    let cfg = fig13::UplinkCapsConfig {
+        stages_mbps: vec![1.5, 1.2, 1.0, 0.7, 0.5, 0.3],
+        stage_s: 20,
+        start_s: 15,
+        tail_s: 30,
+        seed: 0xF1613,
+    };
+    print_once(&F13A, fig13::run_uplink_caps(&cfg));
+    let mut g = c.benchmark_group("fig13_top");
+    g.sample_size(10);
+    let small = fig13::UplinkCapsConfig::quick();
+    g.bench_function("worlds_uplink_staircase", |b| {
+        b.iter(|| std::hint::black_box(fig13::run_uplink_caps(&small)))
+    });
+    g.finish();
+}
+
+fn bench_fig13_bottom(c: &mut Criterion) {
+    let cfg = fig13::TcpPriorityConfig {
+        delays_s: vec![5, 10, 15],
+        stage_s: 30,
+        loss_s: 45,
+        start_s: 12,
+        tail_s: 30,
+        seed: 0xF1613B,
+    };
+    F13B.call_once(|| {
+        let rep = fig13::run_tcp_priority(&cfg);
+        println!("\n{rep}");
+        for (i, d) in cfg.delays_s.iter().enumerate() {
+            let a = cfg.start_s as usize + cfg.stage_s as usize * i;
+            let gap = rep.longest_udp_gap(a, a + cfg.stage_s as usize);
+            println!("  TCP delay {d}s → longest UDP gap {gap}s");
+        }
+        println!("  countdown stale during run: {}", rep.countdown_went_stale);
+    });
+    let mut g = c.benchmark_group("fig13_bottom");
+    g.sample_size(10);
+    let small = fig13::TcpPriorityConfig::quick();
+    g.bench_function("worlds_tcp_priority", |b| {
+        b.iter(|| std::hint::black_box(fig13::run_tcp_priority(&small)))
+    });
+    g.finish();
+}
+
+fn bench_disruption_82(c: &mut Criterion) {
+    let cfg = disruption::DisruptionConfig {
+        latencies_ms: vec![50, 100, 200, 300, 400, 500],
+        losses_pct: vec![1.0, 3.0, 5.0, 7.0, 10.0, 20.0],
+        actions: 8,
+        seed: 0xD152,
+    };
+    D82.call_once(|| {
+        for p in [PlatformId::Worlds, PlatformId::RecRoom, PlatformId::VrChat] {
+            println!("\n{}", disruption::run(p, &cfg));
+        }
+    });
+    let mut g = c.benchmark_group("disruption_82");
+    g.sample_size(10);
+    let small = disruption::DisruptionConfig::quick();
+    g.bench_function("latency_loss_tolerance", |b| {
+        b.iter(|| std::hint::black_box(disruption::run(PlatformId::RecRoom, &small)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    disruption_benches,
+    bench_fig12,
+    bench_fig13_top,
+    bench_fig13_bottom,
+    bench_disruption_82
+);
+criterion_main!(disruption_benches);

@@ -1,0 +1,148 @@
+//! Engine micro-benchmarks: the substrates every experiment runs on.
+//!
+//! These justify the simulator's fitness for the workload: packet-pump
+//! throughput, TCP transfer speed, avatar codec cost, quantizer cost,
+//! and whole-session step rate.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use svr_avatar::codec::{decode_update, encode_update, make_update};
+use svr_avatar::motion::MotionState;
+use svr_avatar::quant::{dequantize_quat, quantize_quat};
+use svr_avatar::skeleton::{Quat, Vec3};
+use svr_avatar::Embodiment;
+use svr_netsim::{LinkSpec, Network, NodeKind, Packet, Proto, SimDuration, SimTime, TransportHeader};
+use svr_platform::session::run_session;
+use svr_platform::{PlatformConfig, SessionConfig};
+
+fn bench_packet_pump(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim");
+    let n_packets = 10_000u64;
+    g.throughput(Throughput::Elements(n_packets));
+    g.bench_function("pump_10k_packets_3hop", |b| {
+        b.iter(|| {
+            let mut net = Network::new(1);
+            let a = net.add_node("a", NodeKind::Headset);
+            let ap = net.add_node("ap", NodeKind::AccessPoint);
+            let s = net.add_node("s", NodeKind::Server);
+            net.add_duplex_link(a, ap, LinkSpec::wifi(), LinkSpec::wifi());
+            net.add_duplex_link(ap, s, LinkSpec::campus(), LinkSpec::campus());
+            for i in 0..n_packets {
+                if i % 64 == 0 {
+                    net.poll_all(SimTime::from_micros(i * 100));
+                }
+                net.send(
+                    a,
+                    s,
+                    Packet::new(
+                        TransportHeader::datagram(Proto::Udp, 1, 2),
+                        Bytes::from_static(&[0u8; 200]),
+                    ),
+                );
+            }
+            std::hint::black_box(net.poll_all(SimTime::from_secs(100)).len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_tcp_transfer(c: &mut Criterion) {
+    use svr_transport::tcp::{TcpConfig, TcpConnection, TcpEvent};
+    let mut g = c.benchmark_group("tcp");
+    let bytes = 1_000_000u64;
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("transfer_1mb_loopback", |b| {
+        b.iter(|| {
+            let cfg = TcpConfig::default();
+            let (mut a, syn) = TcpConnection::client(cfg, 1, 2, SimTime::ZERO);
+            let mut srv = TcpConnection::listen(cfg, 2, 1);
+            let mut a2b: Vec<Packet> = syn;
+            let mut b2a: Vec<Packet> = Vec::new();
+            let mut now = SimTime::ZERO;
+            let payload = vec![7u8; bytes as usize];
+            let mut offered = false;
+            let mut delivered = 0u64;
+            while delivered < bytes {
+                now += SimDuration::from_millis(1);
+                for p in a2b.drain(..) {
+                    let (out, evs) = srv.on_packet(now, &p);
+                    b2a.extend(out);
+                    for e in evs {
+                        if let TcpEvent::Data(d) = e {
+                            delivered += d.len() as u64;
+                        }
+                    }
+                }
+                for p in b2a.drain(..) {
+                    let (out, evs) = a.on_packet(now, &p);
+                    a2b.extend(out);
+                    if !offered && evs.contains(&TcpEvent::Connected) {
+                        offered = true;
+                        a2b.extend(a.send_data(now, &payload));
+                    }
+                }
+                let (out, _) = a.on_tick(now);
+                a2b.extend(out);
+            }
+            std::hint::black_box(delivered)
+        })
+    });
+    g.finish();
+}
+
+fn bench_avatar_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("avatar_codec");
+    for e in [Embodiment::upper_torso_no_face(), Embodiment::human_like()] {
+        let mut m = MotionState::new(1, Vec3::ZERO, 0.0);
+        m.wander();
+        let (pose, vel) = m.step(0.05, &e);
+        let update = make_update(1, 0, &e, pose, vel);
+        let encoded = encode_update(&update);
+        g.throughput(Throughput::Bytes(encoded.len() as u64));
+        g.bench_function(format!("encode_{}", e.name), |b| {
+            b.iter(|| std::hint::black_box(encode_update(&update)))
+        });
+        g.bench_function(format!("decode_{}", e.name), |b| {
+            b.iter(|| std::hint::black_box(decode_update(&encoded).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_quantizer(c: &mut Criterion) {
+    let q = Quat::from_yaw(1.234).normalized();
+    let packed = quantize_quat(q);
+    c.bench_function("quant_quat_roundtrip", |b| {
+        b.iter(|| std::hint::black_box(dequantize_quat(quantize_quat(std::hint::black_box(q)))))
+    });
+    c.bench_function("quant_quat_decode", |b| {
+        b.iter(|| std::hint::black_box(dequantize_quat(std::hint::black_box(packed))))
+    });
+}
+
+fn bench_session_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("session");
+    g.sample_size(10);
+    g.bench_function("five_user_vrchat_20s", |b| {
+        b.iter(|| {
+            let cfg = SessionConfig::walk_and_chat(
+                PlatformConfig::vrchat(),
+                5,
+                SimDuration::from_secs(20),
+                99,
+            );
+            std::hint::black_box(run_session(&cfg).server_stats.forwards)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    engine,
+    bench_packet_pump,
+    bench_tcp_transfer,
+    bench_avatar_codec,
+    bench_quantizer,
+    bench_session_step
+);
+criterion_main!(engine);

@@ -1,0 +1,130 @@
+//! Regenerate the paper's Figures 2, 3, 6, 7, 8, 9 and 11.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Once;
+use svr_bench::print_once;
+use svr_core::experiments::{fig11, fig2, fig3, fig6, fig7, fig8, fig9};
+use svr_platform::PlatformId;
+
+static F2: Once = Once::new();
+static F3: Once = Once::new();
+static F6: Once = Once::new();
+static F7: Once = Once::new();
+static F8: Once = Once::new();
+static F9: Once = Once::new();
+static F11: Once = Once::new();
+
+fn bench_fig2(c: &mut Criterion) {
+    let cfg = fig2::Fig2Config { duration_s: 120, join_s: 60, seed: 0xF162 };
+    F2.call_once(|| {
+        for rep in fig2::run_all(cfg) {
+            println!("\n{rep}");
+        }
+    });
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("channel_timelines", |b| {
+        b.iter(|| std::hint::black_box(fig2::run(PlatformId::VrChat, cfg)))
+    });
+    g.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let cfg = fig3::Fig3Config::quick();
+    print_once(&F3, fig3::run(PlatformId::RecRoom, cfg));
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("uplink_downlink_matching", |b| {
+        b.iter(|| std::hint::black_box(fig3::run(PlatformId::RecRoom, cfg)))
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let cfg = fig6::Fig6Config { join_every_s: 12, settle_s: 12, tail_s: 12, n_users: 5, seed: 0xF166 };
+    F6.call_once(|| {
+        for variant in [fig6::Variant::VisibleThenAway, fig6::Variant::AwayThenVisible] {
+            let rep = fig6::run(PlatformId::AltspaceVr, variant, cfg);
+            println!("\n{rep}");
+            println!(
+                "  downlink before turn {:.1} Kbps → after turn {:.1} Kbps",
+                rep.down_before_turn(),
+                rep.down_after_turn()
+            );
+        }
+    });
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("join_timeline_viewport", |b| {
+        b.iter(|| {
+            std::hint::black_box(fig6::run(PlatformId::AltspaceVr, fig6::Variant::VisibleThenAway, cfg))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let cfg = fig7::ScalingConfig {
+        user_counts: vec![1, 2, 3, 5, 7, 10],
+        trials: 1,
+        duration_s: 40,
+        seed: 0xF167,
+    };
+    F7.call_once(|| {
+        for rep in fig7::run_all(&cfg) {
+            println!("\n{rep}");
+        }
+    });
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    let small = fig7::ScalingConfig { user_counts: vec![1, 3, 5], trials: 1, duration_s: 30, seed: 0xF167 };
+    g.bench_function("throughput_fps_sweep", |b| {
+        b.iter(|| std::hint::black_box(fig7::run(PlatformId::VrChat, &small)))
+    });
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let cfg = fig7::ScalingConfig { user_counts: vec![1, 3, 5], trials: 1, duration_s: 30, seed: 0xF168 };
+    print_once(&F8, fig8::run(&cfg));
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("resource_sweep", |b| b.iter(|| std::hint::black_box(fig8::run(&cfg))));
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let cfg = fig9::Fig9Config { user_counts: vec![15, 20, 28], trials: 1, duration_s: 35, seed: 0xF169 };
+    print_once(&F9, fig9::run(&cfg));
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    let small = fig9::Fig9Config::quick();
+    g.bench_function("private_hubs_large_event", |b| {
+        b.iter(|| std::hint::black_box(fig9::run(&small)))
+    });
+    g.finish();
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let cfg = fig11::Fig11Config { user_counts: vec![2, 3, 4, 5, 6, 7], actions: 8, trials: 1, seed: 0xF1611 };
+    print_once(&F11, fig11::run_all(&cfg));
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    let small = fig11::Fig11Config::quick();
+    g.bench_function("latency_vs_users", |b| {
+        b.iter(|| std::hint::black_box(fig11::run(PlatformId::RecRoom, &small)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig2,
+    bench_fig3,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9,
+    bench_fig11
+);
+criterion_main!(figures);

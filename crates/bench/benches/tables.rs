@@ -1,0 +1,58 @@
+//! Regenerate the paper's Tables 1–4.
+//!
+//! Each bench prints the reproduced table once, then Criterion times the
+//! regeneration. Run the full-fidelity reproduction with
+//! `REPRO_FULL=1 cargo run --release --example reproduce_all`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Once;
+use svr_bench::print_once;
+use svr_core::experiments::{table1, table2, table3, table4};
+
+static T1: Once = Once::new();
+static T2: Once = Once::new();
+static T3: Once = Once::new();
+static T4: Once = Once::new();
+
+fn bench_table1(c: &mut Criterion) {
+    print_once(&T1, table1::run());
+    c.bench_function("table1_feature_matrix", |b| {
+        b.iter(|| std::hint::black_box(table1::run()))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let cfg = table2::Table2Config::full();
+    print_once(&T2, table2::run(cfg));
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("protocols_servers_rtt", |b| {
+        b.iter(|| std::hint::black_box(table2::run(cfg)))
+    });
+    g.finish();
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let cfg = table3::Table3Config { trials: 2, duration_s: 40, seed: 0x7AB1E3 };
+    print_once(&T3, table3::run(cfg));
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    g.bench_function("two_user_throughput", |b| {
+        b.iter(|| std::hint::black_box(table3::run(cfg)))
+    });
+    g.finish();
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let cfg = table4::Table4Config { trials: 1, actions: 10, seed: 0x7AB1E4 };
+    print_once(&T4, table4::run(cfg));
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10);
+    g.bench_function("latency_breakdown", |b| {
+        b.iter(|| std::hint::black_box(table4::run(cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(tables, bench_table1, bench_table2, bench_table3, bench_table4);
+criterion_main!(tables);

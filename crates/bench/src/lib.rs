@@ -1,0 +1,13 @@
+//! Shared support for the benchmark harness.
+//!
+//! Each bench target regenerates paper tables/figures: it prints the
+//! reproduced rows once (so `cargo bench` output doubles as the
+//! reproduction record) and then lets Criterion time the regeneration.
+
+/// Print a report exactly once per process (criterion calls the closure
+/// many times; the rows only need to appear once).
+pub fn print_once(flag: &std::sync::Once, report: impl std::fmt::Display) {
+    flag.call_once(|| {
+        println!("\n{report}");
+    });
+}

@@ -1,0 +1,132 @@
+//! Client device profiles (§3.2's testbed hardware).
+
+use serde::{Deserialize, Serialize};
+
+/// A display resolution, width × height per eye.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Resolution {
+    /// Pixels wide.
+    pub width: u32,
+    /// Pixels high.
+    pub height: u32,
+}
+
+impl Resolution {
+    /// Construct.
+    pub const fn new(width: u32, height: u32) -> Self {
+        Resolution { width, height }
+    }
+
+    /// Total pixel count.
+    pub fn pixels(self) -> u64 {
+        self.width as u64 * self.height as u64
+    }
+}
+
+impl std::fmt::Display for Resolution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.width, self.height)
+    }
+}
+
+/// The kinds of client device in the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// Oculus Quest 2: untethered, local rendering on mobile silicon.
+    Quest2,
+    /// HTC VIVE Cosmos tethered to the i7-7700K / GTX 1070 PC.
+    ViveCosmos,
+    /// The desktop PC itself, running the 2D client.
+    Pc,
+}
+
+/// A client device profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Device kind.
+    pub kind: DeviceKind,
+    /// Display refresh rate (the FPS ceiling; 72 on Quest 2 by default).
+    pub refresh_hz: u32,
+    /// Default per-eye display resolution.
+    pub display_resolution: Resolution,
+    /// Total device memory in MB (Quest 2 ≈ 6 GB).
+    pub memory_mb: u32,
+    /// Relative compute capacity (1.0 = Quest 2). The PC's higher budget
+    /// is why the paper saw no throughput difference across devices but a
+    /// rendering-headroom difference.
+    pub compute_scale: f64,
+    /// Whether the device runs on battery.
+    pub battery_powered: bool,
+}
+
+impl DeviceProfile {
+    /// The paper's primary device.
+    pub fn quest2() -> Self {
+        DeviceProfile {
+            kind: DeviceKind::Quest2,
+            refresh_hz: 72,
+            display_resolution: Resolution::new(1832, 1920),
+            memory_mb: 6_144,
+            compute_scale: 1.0,
+            battery_powered: true,
+        }
+    }
+
+    /// Tethered VIVE: 90 Hz, rendering on the PC.
+    pub fn vive_cosmos() -> Self {
+        DeviceProfile {
+            kind: DeviceKind::ViveCosmos,
+            refresh_hz: 90,
+            display_resolution: Resolution::new(1440, 1700),
+            memory_mb: 16_384,
+            compute_scale: 3.0,
+            battery_powered: false,
+        }
+    }
+
+    /// Desktop PC (2D client).
+    pub fn pc() -> Self {
+        DeviceProfile {
+            kind: DeviceKind::Pc,
+            refresh_hz: 60,
+            display_resolution: Resolution::new(1920, 1080),
+            memory_mb: 16_384,
+            compute_scale: 3.0,
+            battery_powered: false,
+        }
+    }
+
+    /// Frame-time budget to hit the refresh rate, in ms.
+    pub fn frame_budget_ms(&self) -> f64 {
+        1_000.0 / self.refresh_hz as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quest2_matches_paper_specs() {
+        let q = DeviceProfile::quest2();
+        assert_eq!(q.refresh_hz, 72);
+        assert_eq!(q.display_resolution.to_string(), "1832x1920");
+        assert_eq!(q.memory_mb, 6_144);
+        assert!(q.battery_powered);
+        assert!((q.frame_budget_ms() - 13.888).abs() < 0.01);
+    }
+
+    #[test]
+    fn tethered_devices_have_more_compute() {
+        let q = DeviceProfile::quest2();
+        assert!(DeviceProfile::vive_cosmos().compute_scale > q.compute_scale);
+        assert!(DeviceProfile::pc().compute_scale > q.compute_scale);
+        assert!(!DeviceProfile::pc().battery_powered);
+    }
+
+    #[test]
+    fn resolution_pixel_math() {
+        assert_eq!(Resolution::new(1440, 1584).pixels(), 1440 * 1584);
+        assert_eq!(Resolution::new(2016, 2224).to_string(), "2016x2224");
+    }
+}

@@ -1,0 +1,26 @@
+//! # svr-client
+//!
+//! Models of the client devices the paper measured with: the Oculus
+//! Quest 2 (untethered, local rendering), the HTC VIVE Cosmos (tethered
+//! to a PC), and a plain desktop PC. The paper's client-side findings —
+//! FPS degradation with user count, CPU-vs-GPU scaling preferences,
+//! ~10 MB of memory per avatar, <10 % battery per 10-minute session —
+//! are load-response curves; this crate implements those curves as
+//! explicit functions of rendering load, calibrated to the Figure 7/8
+//! anchor points, and exposes an OVR-Metrics-Tool-style sampler that the
+//! measurement harness reads exactly the way the paper's scripts did.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod battery;
+pub mod device;
+pub mod monitor;
+pub mod render;
+pub mod resources;
+
+pub use battery::BatteryModel;
+pub use device::{DeviceProfile, DeviceKind, Resolution};
+pub use monitor::{MetricSample, Monitor, MonitorSummary};
+pub use render::{FpsReading, RenderModel};
+pub use resources::{PerfProfile, RenderLoad, ResourceModel, ResourceReading};

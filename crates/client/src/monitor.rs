@@ -1,0 +1,199 @@
+//! OVR-Metrics-Tool-style performance monitor.
+//!
+//! §3.2: "we run the OVR Metrics Tool, an official performance monitoring
+//! tool from Oculus, to measure the performance and resource utilization
+//! of client-side social VR applications on Quest 2." [`Monitor`] is that
+//! tool's role in the harness: it samples FPS, stale frames, CPU, GPU,
+//! memory, and battery once per second and summarises a run.
+
+use crate::battery::BatteryModel;
+use crate::render::{FpsReading, RenderModel};
+use crate::resources::{RenderLoad, ResourceReading};
+use serde::{Deserialize, Serialize};
+use svr_netsim::SimTime;
+
+/// One per-second sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricSample {
+    /// Sample timestamp.
+    pub ts: SimTime,
+    /// Delivered FPS.
+    pub fps: f64,
+    /// Stale frames in the second.
+    pub stale: f64,
+    /// CPU utilisation, %.
+    pub cpu: f64,
+    /// GPU utilisation, %.
+    pub gpu: f64,
+    /// Memory footprint, MB.
+    pub memory_mb: f64,
+    /// Battery level, %.
+    pub battery_pct: f64,
+}
+
+/// The monitor: owns the models and the sample log.
+#[derive(Debug)]
+pub struct Monitor {
+    render: RenderModel,
+    battery: BatteryModel,
+    samples: Vec<MetricSample>,
+}
+
+/// Aggregates over a run (or a slice of one).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonitorSummary {
+    /// Mean FPS.
+    pub avg_fps: f64,
+    /// Mean stale frames per second.
+    pub avg_stale: f64,
+    /// Mean CPU %.
+    pub avg_cpu: f64,
+    /// Mean GPU %.
+    pub avg_gpu: f64,
+    /// Mean memory MB.
+    pub avg_memory_mb: f64,
+    /// Battery consumed over the slice, %.
+    pub battery_used_pct: f64,
+    /// Number of samples aggregated.
+    pub samples: usize,
+}
+
+impl Monitor {
+    /// Create a monitor over a render model with a fresh battery.
+    pub fn new(render: RenderModel) -> Self {
+        Monitor { render, battery: BatteryModel::quest2_full(), samples: Vec::new() }
+    }
+
+    /// Take one sample covering `dt_s` seconds of the given load.
+    pub fn sample(&mut self, ts: SimTime, load: RenderLoad, dt_s: f64) -> MetricSample {
+        let fps: FpsReading = self.render.fps(load);
+        let res: ResourceReading = self.render.resources.read(load);
+        self.battery.drain(res, dt_s / 60.0);
+        let s = MetricSample {
+            ts,
+            fps: fps.fps,
+            stale: fps.stale_per_s,
+            cpu: res.cpu,
+            gpu: res.gpu,
+            memory_mb: res.memory_mb,
+            battery_pct: self.battery.level_pct,
+        };
+        self.samples.push(s);
+        s
+    }
+
+    /// All samples so far.
+    pub fn samples(&self) -> &[MetricSample] {
+        &self.samples
+    }
+
+    /// Summarise samples whose timestamps fall in `[from, to)`.
+    pub fn summarize_between(&self, from: SimTime, to: SimTime) -> MonitorSummary {
+        let slice: Vec<&MetricSample> =
+            self.samples.iter().filter(|s| s.ts >= from && s.ts < to).collect();
+        summarize(&slice)
+    }
+
+    /// Summarise the whole run.
+    pub fn summarize(&self) -> MonitorSummary {
+        summarize(&self.samples.iter().collect::<Vec<_>>())
+    }
+}
+
+fn summarize(slice: &[&MetricSample]) -> MonitorSummary {
+    let n = slice.len();
+    if n == 0 {
+        return MonitorSummary {
+            avg_fps: 0.0,
+            avg_stale: 0.0,
+            avg_cpu: 0.0,
+            avg_gpu: 0.0,
+            avg_memory_mb: 0.0,
+            battery_used_pct: 0.0,
+            samples: 0,
+        };
+    }
+    let sum = |f: fn(&MetricSample) -> f64| slice.iter().map(|s| f(s)).sum::<f64>() / n as f64;
+    MonitorSummary {
+        avg_fps: sum(|s| s.fps),
+        avg_stale: sum(|s| s.stale),
+        avg_cpu: sum(|s| s.cpu),
+        avg_gpu: sum(|s| s.gpu),
+        avg_memory_mb: sum(|s| s.memory_mb),
+        battery_used_pct: slice.first().map(|f| f.battery_pct).unwrap_or(100.0)
+            - slice.last().map(|l| l.battery_pct).unwrap_or(100.0),
+        samples: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceProfile;
+    use crate::resources::{PerfProfile, ResourceModel};
+    use svr_netsim::SimDuration;
+
+    fn monitor() -> Monitor {
+        Monitor::new(RenderModel::new(
+            ResourceModel::new(PerfProfile::worlds(), 1.0),
+            DeviceProfile::quest2(),
+        ))
+    }
+
+    #[test]
+    fn sampling_accumulates_and_summarizes() {
+        let mut m = monitor();
+        for i in 0..60u64 {
+            m.sample(SimTime::from_secs(i), RenderLoad::avatars(3.0), 1.0);
+        }
+        let sum = m.summarize();
+        assert_eq!(sum.samples, 60);
+        assert!(sum.avg_fps > 60.0 && sum.avg_fps <= 72.0);
+        assert!(sum.avg_cpu > 50.0);
+        assert!(sum.battery_used_pct > 0.0 && sum.battery_used_pct < 2.0);
+    }
+
+    #[test]
+    fn windowed_summary_isolates_phases() {
+        let mut m = monitor();
+        // 30 s quiet, 30 s crowded.
+        for i in 0..30u64 {
+            m.sample(SimTime::from_secs(i), RenderLoad::avatars(0.0), 1.0);
+        }
+        for i in 30..60u64 {
+            m.sample(SimTime::from_secs(i), RenderLoad::avatars(14.0), 1.0);
+        }
+        let quiet = m.summarize_between(SimTime::ZERO, SimTime::from_secs(30));
+        let crowded = m.summarize_between(SimTime::from_secs(30), SimTime::from_secs(60));
+        assert_eq!(quiet.samples, 30);
+        assert_eq!(crowded.samples, 30);
+        assert!(quiet.avg_fps > crowded.avg_fps);
+        assert!(quiet.avg_cpu < crowded.avg_cpu);
+        assert!(quiet.avg_memory_mb < crowded.avg_memory_mb);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let m = monitor();
+        let s = m.summarize_between(SimTime::ZERO, SimTime::from_secs(10));
+        assert_eq!(s.samples, 0);
+        assert_eq!(s.avg_fps, 0.0);
+    }
+
+    #[test]
+    fn battery_declines_monotonically() {
+        let mut m = monitor();
+        let mut last = 100.0;
+        for i in 0..600u64 {
+            let s = m.sample(
+                SimTime::ZERO + SimDuration::from_secs(i),
+                RenderLoad::avatars(5.0),
+                1.0,
+            );
+            assert!(s.battery_pct <= last);
+            last = s.battery_pct;
+        }
+        // 10 minutes: <10 % used (§6.2).
+        assert!(100.0 - last < 10.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! The rendering-pipeline model: frame time → FPS and stale frames.
+//!
+//! Local rendering must finish each frame within the refresh budget
+//! (13.9 ms at Quest 2's 72 Hz); when it cannot, the compositor re-shows
+//! the previous frame — a *stale frame* in OVR-Metrics terms. Frame time
+//! grows with visible avatars (Fig. 7's FPS decline) and inflates further
+//! when the CPU saturates (Fig. 12's FPS collapse under throttling).
+
+use crate::device::DeviceProfile;
+use crate::resources::{RenderLoad, ResourceModel};
+use serde::{Deserialize, Serialize};
+
+/// One frame-rate measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FpsReading {
+    /// Delivered frames per second (≤ refresh rate).
+    pub fps: f64,
+    /// Stale (re-shown) frames per second.
+    pub stale_per_s: f64,
+    /// Modelled frame time in ms.
+    pub frame_ms: f64,
+}
+
+/// The rendering model for one platform app on one device.
+#[derive(Debug, Clone, Copy)]
+pub struct RenderModel {
+    /// Resource model (shares the perf profile).
+    pub resources: ResourceModel,
+    /// Device being rendered on.
+    pub device: DeviceProfile,
+}
+
+impl RenderModel {
+    /// Create for a profile on a device.
+    pub fn new(resources: ResourceModel, device: DeviceProfile) -> Self {
+        RenderModel { resources, device }
+    }
+
+    /// Evaluate frame rate under a load.
+    pub fn fps(&self, load: RenderLoad) -> FpsReading {
+        let p = &self.resources.profile;
+        let n = load.visible_avatars.max(0.0);
+        let mut frame_ms =
+            p.base_frame_ms + n * p.per_avatar_frame_ms / self.resources.compute_scale;
+        // CPU saturation feedback: demand beyond 100 % stretches every
+        // frame proportionally (the renderer is starved of main-thread
+        // time).
+        let reading = self.resources.read(load);
+        if reading.cpu_demand > 100.0 {
+            frame_ms *= reading.cpu_demand / 100.0;
+        }
+        // Reconciliation stalls: frames wait on missing state (Fig. 12's
+        // FPS collapse and stale-frame burst under downlink throttling).
+        frame_ms += load.reconciliation.clamp(0.0, 1.0) * 15.0;
+        let refresh = self.device.refresh_hz as f64;
+        let fps = (1_000.0 / frame_ms).min(refresh);
+        FpsReading { fps, stale_per_s: (refresh - fps).max(0.0), frame_ms }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::PerfProfile;
+
+    fn model(p: PerfProfile) -> RenderModel {
+        RenderModel::new(ResourceModel::new(p, 1.0), DeviceProfile::quest2())
+    }
+
+    #[test]
+    fn alone_every_platform_hits_refresh() {
+        for p in PerfProfile::all() {
+            let r = model(p).fps(RenderLoad::avatars(0.0));
+            assert_eq!(r.fps, 72.0, "{} alone", p.name);
+            assert_eq!(r.stale_per_s, 0.0);
+        }
+    }
+
+    #[test]
+    fn worlds_drops_about_25_percent_at_15_users() {
+        let r = model(PerfProfile::worlds()).fps(RenderLoad::avatars(14.0));
+        let drop = (72.0 - r.fps) / 72.0;
+        assert!((drop - 0.25).abs() < 0.05, "Worlds drop {drop}");
+    }
+
+    #[test]
+    fn hubs_drops_to_about_33_fps_at_15_users() {
+        // §6.2: Hubs falls from 72 to ~60 at 5 users and ~33 at 15.
+        let m = model(PerfProfile::hubs());
+        let at5 = m.fps(RenderLoad::avatars(4.0));
+        assert!((at5.fps - 60.0).abs() < 4.0, "Hubs @5 users {}", at5.fps);
+        let at15 = m.fps(RenderLoad::avatars(14.0));
+        assert!((at15.fps - 33.0).abs() < 4.0, "Hubs @15 users {}", at15.fps);
+        assert!(at15.stale_per_s > 30.0);
+    }
+
+    #[test]
+    fn worlds_has_smallest_drop_of_all_platforms() {
+        let drops: Vec<(&str, f64)> = PerfProfile::all()
+            .iter()
+            .map(|p| (p.name, 72.0 - model(*p).fps(RenderLoad::avatars(14.0)).fps))
+            .collect();
+        let worlds = drops.iter().find(|(n, _)| *n == "Worlds").unwrap().1;
+        for (name, d) in &drops {
+            if *name != "Worlds" {
+                assert!(worlds < *d, "Worlds {worlds} vs {name} {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn fps_declines_monotonically_with_users() {
+        let m = model(PerfProfile::vrchat());
+        let mut last = f64::INFINITY;
+        for n in [0.0, 1.0, 2.0, 4.0, 6.0, 9.0, 11.0, 14.0] {
+            let fps = m.fps(RenderLoad::avatars(n)).fps;
+            assert!(fps <= last, "fps not monotone at n={n}");
+            last = fps;
+        }
+    }
+
+    #[test]
+    fn cpu_saturation_collapses_fps() {
+        // Fig. 12(c): FPS falls well below the avatar-load prediction when
+        // reconciliation work saturates the CPU.
+        let m = model(PerfProfile::worlds());
+        let normal = m.fps(RenderLoad {
+            visible_avatars: 1.0,
+            downlink_mbps: 0.7,
+            game_active: true,
+            reconciliation: 0.0,
+        });
+        let starved = m.fps(RenderLoad {
+            visible_avatars: 1.0,
+            downlink_mbps: 0.3,
+            game_active: true,
+            reconciliation: 1.0,
+        });
+        assert!(starved.fps < normal.fps - 10.0, "{} vs {}", starved.fps, normal.fps);
+        assert!(starved.stale_per_s > normal.stale_per_s);
+    }
+
+    #[test]
+    fn tethered_device_sustains_higher_load() {
+        let quest = RenderModel::new(
+            ResourceModel::new(PerfProfile::vrchat(), 1.0),
+            DeviceProfile::quest2(),
+        );
+        let vive = RenderModel::new(
+            ResourceModel::new(PerfProfile::vrchat(), DeviceProfile::vive_cosmos().compute_scale),
+            DeviceProfile::vive_cosmos(),
+        );
+        let load = RenderLoad::avatars(14.0);
+        let fq = quest.fps(load);
+        let fv = vive.fps(load);
+        // VIVE's 90 Hz ceiling and 3× compute: more frames delivered.
+        assert!(fv.fps > fq.fps);
+    }
+
+    #[test]
+    fn frame_time_reported_consistently() {
+        let m = model(PerfProfile::recroom());
+        let r = m.fps(RenderLoad::avatars(10.0));
+        assert!((r.fps - (1_000.0 / r.frame_ms).min(72.0)).abs() < 1e-9);
+    }
+}

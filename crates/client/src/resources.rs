@@ -1,0 +1,306 @@
+//! CPU / GPU / memory models, calibrated to Figure 8.
+//!
+//! The paper's resource findings are linear load responses with
+//! platform-specific slopes: Hubs (a browser app) has the highest CPU and
+//! saturates near 100 % at 15 users; AltspaceVR prefers the GPU for the
+//! extra load (+25 % GPU vs +15 % CPU from 1→15 users) while the others
+//! lean on the CPU (+~20 % CPU, +10-15 % GPU); memory grows ~10 MB per
+//! avatar with Worlds owning the largest footprint (~2 GB at 15 users).
+//! A [`PerfProfile`] holds those calibrated coefficients per platform.
+
+use serde::{Deserialize, Serialize};
+
+/// Instantaneous client load.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RenderLoad {
+    /// Avatars currently visible in the viewport (self excluded).
+    pub visible_avatars: f64,
+    /// Data-channel downlink rate being decoded, in Mbps.
+    pub downlink_mbps: f64,
+    /// Whether an interactive game is running (adds simulation load).
+    pub game_active: bool,
+    /// Extra reconciliation work in `[0, 1]` — the "prioritize processing
+    /// of missing critical information" load the paper infers when the
+    /// downlink is throttled (§8.1).
+    pub reconciliation: f64,
+}
+
+impl RenderLoad {
+    /// A quiet scene with `n` visible avatars.
+    pub fn avatars(n: f64) -> Self {
+        RenderLoad { visible_avatars: n, downlink_mbps: 0.0, game_active: false, reconciliation: 0.0 }
+    }
+}
+
+/// Calibrated per-platform performance coefficients.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerfProfile {
+    /// Platform label.
+    pub name: &'static str,
+    /// Frame time with an empty scene, ms.
+    pub base_frame_ms: f64,
+    /// Added frame time per visible avatar, ms.
+    pub per_avatar_frame_ms: f64,
+    /// CPU utilisation with one user alone, %.
+    pub base_cpu: f64,
+    /// Added CPU per visible avatar, %.
+    pub per_avatar_cpu: f64,
+    /// GPU utilisation with one user alone, %.
+    pub base_gpu: f64,
+    /// Added GPU per visible avatar, %.
+    pub per_avatar_gpu: f64,
+    /// Memory footprint with one user alone, MB.
+    pub base_memory_mb: f64,
+    /// Added memory per avatar, MB (~10, §6.2).
+    pub per_avatar_memory_mb: f64,
+    /// Browser-based app (Hubs): extra per-byte processing cost.
+    pub is_web: bool,
+}
+
+impl PerfProfile {
+    /// Mozilla Hubs: browser app, highest CPU, steepest FPS decline.
+    pub fn hubs() -> Self {
+        PerfProfile {
+            name: "Hubs",
+            base_frame_ms: 11.3,
+            per_avatar_frame_ms: 1.36,
+            base_cpu: 75.0,
+            per_avatar_cpu: 1.8,
+            base_gpu: 62.0,
+            per_avatar_gpu: 0.95,
+            base_memory_mb: 1_250.0,
+            per_avatar_memory_mb: 10.0,
+            is_web: true,
+        }
+    }
+
+    /// Horizon Worlds: best-optimised renderer despite the most complex
+    /// avatar (smallest FPS drop, ~25 % from 1→15 users).
+    pub fn worlds() -> Self {
+        PerfProfile {
+            name: "Worlds",
+            base_frame_ms: 12.0,
+            per_avatar_frame_ms: 0.46,
+            base_cpu: 62.0,
+            per_avatar_cpu: 1.45,
+            base_gpu: 72.0,
+            per_avatar_gpu: 1.0,
+            base_memory_mb: 1_850.0,
+            per_avatar_memory_mb: 11.0,
+            is_web: false,
+        }
+    }
+
+    /// VRChat.
+    pub fn vrchat() -> Self {
+        PerfProfile {
+            name: "VRChat",
+            base_frame_ms: 12.0,
+            per_avatar_frame_ms: 0.57,
+            base_cpu: 65.0,
+            per_avatar_cpu: 1.45,
+            base_gpu: 55.0,
+            per_avatar_gpu: 0.85,
+            base_memory_mb: 1_300.0,
+            per_avatar_memory_mb: 10.0,
+            is_web: false,
+        }
+    }
+
+    /// AltspaceVR: shifts the extra load to the GPU (+25 % GPU vs +15 %
+    /// CPU from 1→15 users, §6.2).
+    pub fn altspace() -> Self {
+        PerfProfile {
+            name: "AltspaceVR",
+            base_frame_ms: 12.0,
+            per_avatar_frame_ms: 0.66,
+            base_cpu: 55.0,
+            per_avatar_cpu: 1.05,
+            base_gpu: 60.0,
+            per_avatar_gpu: 1.8,
+            base_memory_mb: 1_050.0,
+            per_avatar_memory_mb: 9.0,
+            is_web: false,
+        }
+    }
+
+    /// Rec Room.
+    pub fn recroom() -> Self {
+        PerfProfile {
+            name: "Rec Room",
+            base_frame_ms: 12.0,
+            per_avatar_frame_ms: 0.84,
+            base_cpu: 52.0,
+            per_avatar_cpu: 1.5,
+            base_gpu: 58.0,
+            per_avatar_gpu: 0.85,
+            base_memory_mb: 1_350.0,
+            per_avatar_memory_mb: 10.0,
+            is_web: false,
+        }
+    }
+
+    /// All five profiles.
+    pub fn all() -> [PerfProfile; 5] {
+        [Self::altspace(), Self::hubs(), Self::recroom(), Self::vrchat(), Self::worlds()]
+    }
+}
+
+/// A resource measurement at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceReading {
+    /// CPU utilisation, % (capped at 100).
+    pub cpu: f64,
+    /// GPU utilisation, %.
+    pub gpu: f64,
+    /// Memory footprint, MB.
+    pub memory_mb: f64,
+    /// Uncapped CPU demand, % — above 100 means the CPU is the
+    /// bottleneck and frame times inflate.
+    pub cpu_demand: f64,
+}
+
+/// The resource model: profile coefficients × load.
+#[derive(Debug, Clone, Copy)]
+pub struct ResourceModel {
+    /// The platform's coefficients.
+    pub profile: PerfProfile,
+    /// Device compute scale (1.0 = Quest 2); a faster device divides the
+    /// avatar-proportional load.
+    pub compute_scale: f64,
+}
+
+impl ResourceModel {
+    /// Create for a profile on a device.
+    pub fn new(profile: PerfProfile, compute_scale: f64) -> Self {
+        assert!(compute_scale > 0.0);
+        ResourceModel { profile, compute_scale }
+    }
+
+    /// Evaluate the model under a load.
+    pub fn read(&self, load: RenderLoad) -> ResourceReading {
+        let p = &self.profile;
+        let n = load.visible_avatars.max(0.0);
+        // Per-byte decode cost: web apps pay ~5 %/Mbps, native ~2 %/Mbps.
+        let decode = load.downlink_mbps * if p.is_web { 5.0 } else { 2.0 };
+        let game = if load.game_active { 8.0 } else { 0.0 };
+        let recon = load.reconciliation.clamp(0.0, 1.0) * 30.0;
+        let cpu_demand =
+            p.base_cpu + (n * p.per_avatar_cpu + decode + game + recon) / self.compute_scale;
+        let gpu = p.base_gpu + (n * p.per_avatar_gpu + game * 0.5) / self.compute_scale;
+        ResourceReading {
+            cpu: cpu_demand.min(100.0),
+            gpu: gpu.min(100.0),
+            memory_mb: p.base_memory_mb + n * p.per_avatar_memory_mb,
+            cpu_demand,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delta_1_to_15(profile: PerfProfile) -> (f64, f64) {
+        let model = ResourceModel::new(profile, 1.0);
+        let one = model.read(RenderLoad::avatars(0.0));
+        let fifteen = model.read(RenderLoad::avatars(14.0));
+        (fifteen.cpu - one.cpu, fifteen.gpu - one.gpu)
+    }
+
+    #[test]
+    fn hubs_cpu_saturates_near_100_at_15_users() {
+        let model = ResourceModel::new(PerfProfile::hubs(), 1.0);
+        // Include the decode load of ~0.8 Mbps of avatar data at 15 users.
+        let r = model.read(RenderLoad {
+            visible_avatars: 14.0,
+            downlink_mbps: 0.8,
+            game_active: false,
+            reconciliation: 0.0,
+        });
+        assert!(r.cpu > 95.0, "Hubs CPU {}", r.cpu);
+        let one = model.read(RenderLoad::avatars(0.0));
+        assert!(one.cpu >= 70.0, "browser baseline {}", one.cpu);
+    }
+
+    #[test]
+    fn altspace_prefers_gpu_for_extra_load() {
+        // §6.2: AltspaceVR CPU +15 %, GPU +25 %; others CPU ~+20 %,
+        // GPU +10-15 %.
+        let (d_cpu, d_gpu) = delta_1_to_15(PerfProfile::altspace());
+        assert!(d_gpu > d_cpu, "AltspaceVR GPU-leaning: {d_cpu} vs {d_gpu}");
+        assert!((d_cpu - 15.0).abs() < 3.0);
+        assert!((d_gpu - 25.0).abs() < 3.0);
+        for p in [PerfProfile::worlds(), PerfProfile::vrchat(), PerfProfile::recroom()] {
+            let (dc, dg) = delta_1_to_15(p);
+            assert!(dc > dg, "{} is CPU-leaning: {dc} vs {dg}", p.name);
+            assert!((dc - 20.0).abs() < 3.0, "{}: {dc}", p.name);
+            assert!((9.0..=16.0).contains(&dg), "{}: {dg}", p.name);
+        }
+    }
+
+    #[test]
+    fn memory_grows_ten_mb_per_avatar() {
+        for p in PerfProfile::all() {
+            let model = ResourceModel::new(p, 1.0);
+            let one = model.read(RenderLoad::avatars(0.0));
+            let fifteen = model.read(RenderLoad::avatars(14.0));
+            let extra = fifteen.memory_mb - one.memory_mb;
+            // §6.2: <150 MB extra for 14 more users (~10 MB each).
+            assert!(extra <= 160.0, "{}: {extra}", p.name);
+            assert!(extra >= 120.0, "{}: {extra}", p.name);
+        }
+    }
+
+    #[test]
+    fn worlds_owns_largest_memory_footprint() {
+        let readings: Vec<(&str, f64)> = PerfProfile::all()
+            .iter()
+            .map(|p| (p.name, ResourceModel::new(*p, 1.0).read(RenderLoad::avatars(14.0)).memory_mb))
+            .collect();
+        let worlds = readings.iter().find(|(n, _)| *n == "Worlds").unwrap().1;
+        for (name, mem) in &readings {
+            if *name != "Worlds" {
+                assert!(worlds > *mem, "Worlds {worlds} vs {name} {mem}");
+            }
+        }
+        // ~2 GB at 15 users — about a third of Quest 2's 6 GB.
+        assert!((worlds - 2_000.0).abs() < 120.0, "Worlds mem {worlds}");
+    }
+
+    #[test]
+    fn reconciliation_load_can_saturate_cpu() {
+        // Fig. 12: with the downlink throttled, CPU reaches 100 %.
+        let model = ResourceModel::new(PerfProfile::worlds(), 1.0);
+        let r = model.read(RenderLoad {
+            visible_avatars: 1.0,
+            downlink_mbps: 0.3,
+            game_active: true,
+            reconciliation: 1.0,
+        });
+        assert!(r.cpu >= 99.9, "cpu {}", r.cpu);
+        assert!(r.cpu_demand > 100.0, "demand overflows: {}", r.cpu_demand);
+    }
+
+    #[test]
+    fn faster_device_lowers_utilisation() {
+        let quest = ResourceModel::new(PerfProfile::vrchat(), 1.0);
+        let pc = ResourceModel::new(PerfProfile::vrchat(), 3.0);
+        let load = RenderLoad::avatars(10.0);
+        assert!(pc.read(load).cpu < quest.read(load).cpu);
+        assert!(pc.read(load).gpu < quest.read(load).gpu);
+    }
+
+    #[test]
+    fn utilisation_is_capped_but_demand_is_not() {
+        let model = ResourceModel::new(PerfProfile::hubs(), 1.0);
+        let r = model.read(RenderLoad {
+            visible_avatars: 50.0,
+            downlink_mbps: 3.0,
+            game_active: true,
+            reconciliation: 1.0,
+        });
+        assert_eq!(r.cpu, 100.0);
+        assert!(r.cpu_demand > 130.0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Capture-trace analysis: what the paper's scripts did with pcap files.
+//!
+//! Classification of flows into control vs data channels (§4.1),
+//! per-second throughput series split by channel and direction (Figures
+//! 2, 3, 6, 12, 13), steady-state rate extraction (Table 3), and the
+//! §5.2 mute-join differencing that isolates avatar traffic.
+
+use svr_netsim::capture::{by_server, CaptureRecord, Direction};
+use svr_netsim::{Bitrate, NodeId, Proto, SimDuration, SimTime};
+use svr_platform::ChannelKind;
+
+/// Classify a captured packet into control or data channel by its remote
+/// endpoint (the method of §4.1: the two channels terminate at different
+/// servers — or, for Hubs, different flows on the same stack).
+pub fn classify(record: &CaptureRecord, control_server: NodeId, data_server: NodeId) -> Option<ChannelKind> {
+    let remote = match record.direction {
+        Direction::Uplink => record.flow.dst,
+        Direction::Downlink => record.flow.src,
+    };
+    if remote == control_server {
+        Some(ChannelKind::Control)
+    } else if remote == data_server {
+        Some(ChannelKind::Data)
+    } else {
+        None
+    }
+}
+
+/// Filter records to one channel.
+pub fn channel_records(
+    records: &[CaptureRecord],
+    kind: ChannelKind,
+    control_server: NodeId,
+    data_server: NodeId,
+) -> Vec<CaptureRecord> {
+    records
+        .iter()
+        .filter(|r| classify(r, control_server, data_server) == Some(kind))
+        .copied()
+        .collect()
+}
+
+/// A per-second throughput series in Kbps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateSeries {
+    /// Kbps per one-second window, starting at t=0.
+    pub kbps: Vec<f64>,
+}
+
+impl RateSeries {
+    /// Build from records, one direction, padded to `duration`.
+    pub fn from_records(records: &[CaptureRecord], direction: Direction, duration: SimDuration) -> RateSeries {
+        let windows = duration.as_micros().div_ceil(1_000_000) as usize;
+        let mut bytes = vec![0u64; windows];
+        for r in records {
+            if r.direction != direction {
+                continue;
+            }
+            let idx = (r.ts.as_micros() / 1_000_000) as usize;
+            if idx < windows {
+                bytes[idx] += r.wire_bytes;
+            }
+        }
+        RateSeries { kbps: bytes.into_iter().map(|b| b as f64 * 8.0 / 1e3).collect() }
+    }
+
+    /// Mean rate over windows `[from_s, to_s)`.
+    pub fn mean_kbps(&self, from_s: usize, to_s: usize) -> f64 {
+        let to = to_s.min(self.kbps.len());
+        if from_s >= to {
+            return 0.0;
+        }
+        self.kbps[from_s..to].iter().sum::<f64>() / (to - from_s) as f64
+    }
+
+    /// Maximum windowed rate.
+    pub fn peak_kbps(&self) -> f64 {
+        self.kbps.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Number of windows.
+    pub fn len(&self) -> usize {
+        self.kbps.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.kbps.is_empty()
+    }
+}
+
+/// Steady-state data-channel rates for one user, in Kbps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SteadyRates {
+    /// Uplink mean.
+    pub up_kbps: f64,
+    /// Downlink mean.
+    pub down_kbps: f64,
+}
+
+/// Extract steady-state data-channel rates from a user's AP capture over
+/// the window `[from, to)`.
+pub fn steady_data_rates(
+    records: &[CaptureRecord],
+    data_server: NodeId,
+    from: SimTime,
+    to: SimTime,
+) -> SteadyRates {
+    let span_s = to.saturating_since(from).as_secs_f64();
+    if span_s <= 0.0 {
+        return SteadyRates { up_kbps: 0.0, down_kbps: 0.0 };
+    }
+    let data = by_server(records, data_server);
+    let mut up = 0u64;
+    let mut down = 0u64;
+    for r in &data {
+        if r.ts < from || r.ts >= to {
+            continue;
+        }
+        match r.direction {
+            Direction::Uplink => up += r.wire_bytes,
+            Direction::Downlink => down += r.wire_bytes,
+        }
+    }
+    SteadyRates {
+        up_kbps: up as f64 * 8.0 / span_s / 1e3,
+        down_kbps: down as f64 * 8.0 / span_s / 1e3,
+    }
+}
+
+/// The §5.2 avatar-isolation method: downlink throughput with the peer
+/// present (`with_peer`) minus without (`alone`) approximates one
+/// avatar's data rate.
+pub fn avatar_rate_by_differencing(alone_down_kbps: f64, with_peer_down_kbps: f64) -> f64 {
+    (with_peer_down_kbps - alone_down_kbps).max(0.0)
+}
+
+/// Protocol mix of a record set (Table 2's protocol identification).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ProtocolMix {
+    /// UDP packets.
+    pub udp: u64,
+    /// TCP packets.
+    pub tcp: u64,
+    /// ICMP packets.
+    pub icmp: u64,
+}
+
+impl ProtocolMix {
+    /// Count protocols in a record set.
+    pub fn of(records: &[CaptureRecord]) -> ProtocolMix {
+        let mut mix = ProtocolMix::default();
+        for r in records {
+            match r.flow.proto {
+                Proto::Udp => mix.udp += 1,
+                Proto::Tcp => mix.tcp += 1,
+                Proto::Icmp => mix.icmp += 1,
+            }
+        }
+        mix
+    }
+
+    /// The dominant protocol, if any traffic exists.
+    pub fn dominant(&self) -> Option<Proto> {
+        let m = self.udp.max(self.tcp).max(self.icmp);
+        if m == 0 {
+            return None;
+        }
+        if m == self.udp {
+            Some(Proto::Udp)
+        } else if m == self.tcp {
+            Some(Proto::Tcp)
+        } else {
+            Some(Proto::Icmp)
+        }
+    }
+}
+
+/// Mean rate of a [`Bitrate`]-valued series helper: convert Kbps → Bitrate.
+pub fn kbps_to_bitrate(kbps: f64) -> Bitrate {
+    Bitrate::from_bps((kbps * 1e3).max(0.0) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svr_netsim::FlowKey;
+
+    fn nid(i: u32) -> NodeId {
+        let mut net = svr_netsim::Network::new(0);
+        let mut last = None;
+        for k in 0..=i {
+            last = Some(net.add_node(format!("n{k}"), svr_netsim::NodeKind::Server));
+        }
+        last.unwrap()
+    }
+
+    fn rec(ts_s: u64, src: u32, dst: u32, dir: Direction, bytes: u64, proto: Proto) -> CaptureRecord {
+        CaptureRecord {
+            ts: SimTime::from_secs(ts_s),
+            flow: FlowKey { src: nid(src), dst: nid(dst), src_port: 1, dst_port: 2, proto },
+            wire_bytes: bytes,
+            payload_len: bytes as u32,
+            direction: dir,
+            packet_id: 0,
+        }
+    }
+
+    #[test]
+    fn classification_by_remote_endpoint() {
+        let ctl = nid(8);
+        let data = nid(9);
+        let up_ctl = rec(1, 0, 8, Direction::Uplink, 100, Proto::Tcp);
+        let down_data = rec(1, 9, 0, Direction::Downlink, 100, Proto::Udp);
+        let other = rec(1, 0, 5, Direction::Uplink, 100, Proto::Udp);
+        assert_eq!(classify(&up_ctl, ctl, data), Some(ChannelKind::Control));
+        assert_eq!(classify(&down_data, ctl, data), Some(ChannelKind::Data));
+        assert_eq!(classify(&other, ctl, data), None);
+    }
+
+    #[test]
+    fn rate_series_buckets_per_second() {
+        let recs = vec![
+            rec(0, 9, 0, Direction::Downlink, 125, Proto::Udp),
+            rec(0, 9, 0, Direction::Downlink, 125, Proto::Udp),
+            rec(2, 9, 0, Direction::Downlink, 250, Proto::Udp),
+            rec(2, 0, 9, Direction::Uplink, 999, Proto::Udp), // other direction
+        ];
+        let s = RateSeries::from_records(&recs, Direction::Downlink, SimDuration::from_secs(4));
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.kbps[0], 2.0);
+        assert_eq!(s.kbps[1], 0.0);
+        assert_eq!(s.kbps[2], 2.0);
+        assert_eq!(s.kbps[3], 0.0);
+        assert_eq!(s.peak_kbps(), 2.0);
+        assert_eq!(s.mean_kbps(0, 4), 1.0);
+        assert_eq!(s.mean_kbps(3, 3), 0.0);
+    }
+
+    #[test]
+    fn steady_rates_respect_window_and_server() {
+        let data = nid(9);
+        let recs = vec![
+            rec(5, 0, 9, Direction::Uplink, 1_250, Proto::Udp),  // in window
+            rec(6, 9, 0, Direction::Downlink, 2_500, Proto::Udp), // in window
+            rec(1, 0, 9, Direction::Uplink, 9_999, Proto::Udp),  // before window
+            rec(5, 0, 7, Direction::Uplink, 9_999, Proto::Udp),  // other server
+        ];
+        let r = steady_data_rates(&recs, data, SimTime::from_secs(5), SimTime::from_secs(15));
+        assert!((r.up_kbps - 1.0).abs() < 1e-9, "{}", r.up_kbps);
+        assert!((r.down_kbps - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avatar_differencing() {
+        assert!((avatar_rate_by_differencing(10.0, 45.0) - 35.0).abs() < 1e-12);
+        assert_eq!(avatar_rate_by_differencing(50.0, 45.0), 0.0);
+    }
+
+    #[test]
+    fn protocol_mix_dominance() {
+        let recs = vec![
+            rec(0, 0, 9, Direction::Uplink, 10, Proto::Udp),
+            rec(0, 0, 9, Direction::Uplink, 10, Proto::Udp),
+            rec(0, 0, 9, Direction::Uplink, 10, Proto::Tcp),
+        ];
+        let mix = ProtocolMix::of(&recs);
+        assert_eq!(mix.udp, 2);
+        assert_eq!(mix.tcp, 1);
+        assert_eq!(mix.dominant(), Some(Proto::Udp));
+        assert_eq!(ProtocolMix::default().dominant(), None);
+    }
+}

@@ -1,0 +1,222 @@
+//! Figure 12: Worlds' shooter under downlink throttling.
+//!
+//! Two users play the Arena-Clash-like game; U1's downlink is capped at
+//! 1.0/0.7/0.5/0.3/0.2/0.1 Mbps in 40-second stages, then released. The
+//! report carries per-second uplink/downlink throughput, CPU/GPU
+//! utilisation, and FPS/stale-frame series, reproducing the paper's three
+//! panels: throughput clamps to the cap, CPU climbs toward 100 % as the
+//! client reconciles missing state, the uplink destabilises, and FPS
+//! collapses while stale frames surge.
+
+use crate::analysis::RateSeries;
+use svr_netsim::capture::{by_server, Direction};
+use svr_netsim::{Bitrate, Impairment, NetemSchedule, SimDuration, SimTime};
+use svr_platform::session::run_session;
+use svr_platform::{Behavior, PlatformConfig, SessionConfig};
+
+/// Per-second traces of the disruption run.
+#[derive(Debug, Clone)]
+pub struct Fig12Report {
+    /// Stage rate caps in Mbps, in order.
+    pub stages_mbps: Vec<f64>,
+    /// Stage length, seconds.
+    pub stage_s: u64,
+    /// First stage start, seconds.
+    pub start_s: u64,
+    /// U1 uplink (Mbps per second).
+    pub up_mbps: Vec<f64>,
+    /// U1 downlink (Mbps per second).
+    pub down_mbps: Vec<f64>,
+    /// U1 CPU % per second.
+    pub cpu: Vec<f64>,
+    /// U1 GPU % per second.
+    pub gpu: Vec<f64>,
+    /// U1 FPS per second.
+    pub fps: Vec<f64>,
+    /// U1 stale frames per second.
+    pub stale: Vec<f64>,
+}
+
+/// Parameters.
+#[derive(Debug, Clone)]
+pub struct Fig12Config {
+    /// Rate caps per stage, Mbps (paper: 1.0 … 0.1).
+    pub stages_mbps: Vec<f64>,
+    /// Stage length (paper: 40 s).
+    pub stage_s: u64,
+    /// Recovery tail (paper: 60 s).
+    pub tail_s: u64,
+    /// Time before the first stage (game warm-up).
+    pub start_s: u64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Fig12Config {
+    /// Paper fidelity.
+    pub fn full() -> Self {
+        Fig12Config {
+            stages_mbps: vec![1.0, 0.7, 0.5, 0.3, 0.2, 0.1],
+            stage_s: 40,
+            tail_s: 60,
+            start_s: 20,
+            seed: 0xF1612,
+        }
+    }
+
+    /// CI-sized.
+    pub fn quick() -> Self {
+        Fig12Config {
+            stages_mbps: vec![0.7, 0.2],
+            stage_s: 12,
+            tail_s: 12,
+            start_s: 10,
+            seed: 0xF1612,
+        }
+    }
+
+    /// Total run length.
+    pub fn duration_s(&self) -> u64 {
+        self.start_s + self.stage_s * self.stages_mbps.len() as u64 + self.tail_s
+    }
+}
+
+/// Run the experiment.
+pub fn run(cfg: &Fig12Config) -> Fig12Report {
+    let pcfg = PlatformConfig::worlds();
+    let duration = SimDuration::from_secs(cfg.duration_s());
+    let mut scfg = SessionConfig::walk_and_chat(pcfg, 2, duration, cfg.seed);
+    scfg.behaviors.push(Behavior::StartGame { at: SimTime::from_secs(7) });
+    let imps: Vec<Impairment> = cfg
+        .stages_mbps
+        .iter()
+        .map(|m| Impairment::rate(Bitrate::from_mbps_f64(*m)))
+        .collect();
+    scfg.netem_downlink = Some(NetemSchedule::staircase(
+        SimTime::from_secs(cfg.start_s),
+        SimDuration::from_secs(cfg.stage_s),
+        &imps,
+    ));
+    let r = run_session(&scfg);
+
+    let data = by_server(&r.users[0].ap_records, r.data_server_node);
+    let up = RateSeries::from_records(&data, Direction::Uplink, duration);
+    let down = RateSeries::from_records(&data, Direction::Downlink, duration);
+    let samples = &r.users[0].samples;
+    Fig12Report {
+        stages_mbps: cfg.stages_mbps.clone(),
+        stage_s: cfg.stage_s,
+        start_s: cfg.start_s,
+        up_mbps: up.kbps.iter().map(|k| k / 1e3).collect(),
+        down_mbps: down.kbps.iter().map(|k| k / 1e3).collect(),
+        cpu: samples.iter().map(|s| s.cpu).collect(),
+        gpu: samples.iter().map(|s| s.gpu).collect(),
+        fps: samples.iter().map(|s| s.fps).collect(),
+        stale: samples.iter().map(|s| s.stale).collect(),
+    }
+}
+
+impl Fig12Report {
+    /// Second-range of stage `k`.
+    pub fn stage_window(&self, k: usize) -> (usize, usize) {
+        let start = self.start_s as usize + self.stage_s as usize * k;
+        (start + 2, start + self.stage_s as usize)
+    }
+
+    /// Mean of a series over a window.
+    pub fn mean(series: &[f64], from: usize, to: usize) -> f64 {
+        let to = to.min(series.len());
+        if from >= to {
+            return 0.0;
+        }
+        series[from..to].iter().sum::<f64>() / (to - from) as f64
+    }
+
+    /// Mean downlink during stage `k`, Mbps.
+    pub fn down_in_stage(&self, k: usize) -> f64 {
+        let (a, b) = self.stage_window(k);
+        Self::mean(&self.down_mbps, a, b)
+    }
+}
+
+impl std::fmt::Display for Fig12Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Fig. 12: Worlds shooter, downlink caps {:?} Mbps ({}s stages from {}s)",
+            self.stages_mbps, self.stage_s, self.start_s
+        )?;
+        let pts = |s: &[f64]| -> Vec<(f64, f64)> {
+            s.iter().enumerate().step_by(4).map(|(i, v)| (i as f64, *v)).collect()
+        };
+        writeln!(f, "{}", crate::report::series_line("  uplink  (Mbps)", &pts(&self.up_mbps)))?;
+        writeln!(f, "{}", crate::report::series_line("  downlink(Mbps)", &pts(&self.down_mbps)))?;
+        writeln!(f, "{}", crate::report::series_line("  CPU (%)       ", &pts(&self.cpu)))?;
+        writeln!(f, "{}", crate::report::series_line("  GPU (%)       ", &pts(&self.gpu)))?;
+        writeln!(f, "{}", crate::report::series_line("  FPS           ", &pts(&self.fps)))?;
+        writeln!(f, "{}", crate::report::series_line("  stale/s       ", &pts(&self.stale)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn game_traffic_reaches_game_rates_before_throttling() {
+        let cfg = Fig12Config::quick();
+        let r = run(&cfg);
+        // Paper: ~0.7 Mbps down / ~1.2 Mbps up in the shooter.
+        let up = Fig12Report::mean(&r.up_mbps, 8, cfg.start_s as usize);
+        let down = Fig12Report::mean(&r.down_mbps, 8, cfg.start_s as usize);
+        assert!((0.8..1.7).contains(&up), "game uplink {up} Mbps");
+        assert!((0.45..1.1).contains(&down), "game downlink {down} Mbps");
+    }
+
+    #[test]
+    fn downlink_clamps_to_each_cap() {
+        let cfg = Fig12Config::quick();
+        let r = run(&cfg);
+        for (k, cap) in cfg.stages_mbps.iter().enumerate() {
+            let got = r.down_in_stage(k);
+            assert!(
+                got <= cap * 1.25,
+                "stage {k}: downlink {got} vs cap {cap}"
+            );
+            // And uses most of the available bandwidth ("aggressive").
+            assert!(got > cap * 0.5, "stage {k}: downlink {got} under-uses cap {cap}");
+        }
+    }
+
+    #[test]
+    fn cpu_rises_and_fps_falls_under_throttling() {
+        let cfg = Fig12Config::quick();
+        let r = run(&cfg);
+        let before_cpu = Fig12Report::mean(&r.cpu, 8, cfg.start_s as usize);
+        let (a, b) = r.stage_window(cfg.stages_mbps.len() - 1); // harshest stage
+        let during_cpu = Fig12Report::mean(&r.cpu, a, b);
+        assert!(
+            during_cpu > before_cpu + 8.0,
+            "CPU should climb: {before_cpu:.1} → {during_cpu:.1}"
+        );
+        let before_fps = Fig12Report::mean(&r.fps, 8, cfg.start_s as usize);
+        let during_fps = Fig12Report::mean(&r.fps, a, b);
+        assert!(
+            during_fps < before_fps - 10.0,
+            "FPS should fall: {before_fps:.1} → {during_fps:.1}"
+        );
+        let during_stale = Fig12Report::mean(&r.stale, a, b);
+        assert!(during_stale > 5.0, "stale frames surge: {during_stale:.1}");
+    }
+
+    #[test]
+    fn recovery_after_stages() {
+        let cfg = Fig12Config::quick();
+        let r = run(&cfg);
+        let tail_from = cfg.duration_s() as usize - cfg.tail_s as usize + 4;
+        let down = Fig12Report::mean(&r.down_mbps, tail_from, r.down_mbps.len());
+        assert!(down > 0.4, "downlink recovers after the caps lift: {down}");
+        let fps = Fig12Report::mean(&r.fps, tail_from, r.fps.len());
+        assert!(fps > 50.0, "FPS recovers: {fps}");
+    }
+}

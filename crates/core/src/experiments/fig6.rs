@@ -1,0 +1,245 @@
+//! Figure 6: throughput scalability timeline and the viewport-adaptive
+//! optimisation.
+//!
+//! U1 is in the event from the start; U2–U5 join at 50/100/150/200 s
+//! (scaled for shorter runs); everyone stands so visibility is purely a
+//! matter of viewport geometry. At the "turn point" (250 s in the paper)
+//! U1 rotates 180°, putting every avatar behind them:
+//!
+//! * direct-forwarding platforms keep streaming — downlink unchanged;
+//! * AltspaceVR's viewport-adaptive server stops forwarding the invisible
+//!   avatars — downlink collapses (Fig. 6(e));
+//! * Experiment 2 inverts it: U1 faces away for the whole run, the others
+//!   gather centre-stage, and U1's downlink stays near zero until the
+//!   turn (Fig. 6(f)).
+
+use crate::analysis::RateSeries;
+use svr_netsim::capture::{by_server, Direction};
+use svr_netsim::{SimDuration, SimTime};
+use svr_platform::session::run_session;
+use svr_platform::{Behavior, PlatformConfig, PlatformId, SessionConfig};
+
+/// Which §6.1 experiment variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Others visible first, U1 turns away at the turn point (Exp. 1).
+    VisibleThenAway,
+    /// U1 faces a corner first, turns to the centre at the turn point
+    /// (Exp. 2).
+    AwayThenVisible,
+}
+
+/// Timeline report for one platform.
+#[derive(Debug, Clone)]
+pub struct Fig6Report {
+    /// Platform.
+    pub platform: PlatformId,
+    /// Variant run.
+    pub variant: Variant,
+    /// U1 downlink, Kbps per second.
+    pub down: RateSeries,
+    /// U1 uplink, Kbps per second.
+    pub up: RateSeries,
+    /// Join times of U2..U5.
+    pub join_times_s: Vec<u64>,
+    /// When U1 turned.
+    pub turn_s: u64,
+}
+
+/// Parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6Config {
+    /// Interval between joins (paper: 50 s).
+    pub join_every_s: u64,
+    /// Time after the last join before U1 turns (paper: 50 s).
+    pub settle_s: u64,
+    /// Tail after the turn (paper: 50 s).
+    pub tail_s: u64,
+    /// Number of users (paper: 5).
+    pub n_users: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Fig6Config {
+    /// Paper fidelity: joins at 50/100/150/200 s, turn at 250 s, 300 s run.
+    pub fn full() -> Self {
+        Fig6Config { join_every_s: 50, settle_s: 50, tail_s: 50, n_users: 5, seed: 0xF166 }
+    }
+
+    /// CI-sized: joins every 8 s, 4 users.
+    pub fn quick() -> Self {
+        Fig6Config { join_every_s: 8, settle_s: 8, tail_s: 8, n_users: 4, seed: 0xF166 }
+    }
+
+    /// Turn time.
+    pub fn turn_s(&self) -> u64 {
+        self.join_every_s * (self.n_users as u64 - 1) + self.settle_s
+    }
+
+    /// Total duration.
+    pub fn duration_s(&self) -> u64 {
+        self.turn_s() + self.tail_s
+    }
+}
+
+/// Run one platform/variant.
+pub fn run(platform: PlatformId, variant: Variant, cfg: Fig6Config) -> Fig6Report {
+    let pcfg = PlatformConfig::of(platform);
+    let duration = SimDuration::from_secs(cfg.duration_s());
+    let mut scfg = SessionConfig::walk_and_chat(pcfg, cfg.n_users, duration, cfg.seed);
+    scfg.behaviors.clear();
+
+    // U1 joins immediately and stands still at its spawn.
+    scfg.behaviors.push(Behavior::Join { user: 0, at: SimTime::from_secs(1) });
+    let turn = cfg.turn_s();
+    let mut joins = Vec::new();
+    for u in 1..cfg.n_users {
+        let at = cfg.join_every_s * u as u64;
+        joins.push(at);
+        scfg.behaviors.push(Behavior::Join { user: u, at: SimTime::from_secs(at) });
+    }
+    match variant {
+        Variant::VisibleThenAway => {
+            // Default spawn circle: everyone faces the centre, mutually
+            // visible. U1 turns away at the turn point.
+            scfg.behaviors.push(Behavior::Turn { user: 0, at: SimTime::from_secs(turn), delta_deg: 180.0 });
+        }
+        Variant::AwayThenVisible => {
+            // U1 faces outward from the start; others walk to the centre
+            // as they join.
+            scfg.behaviors.push(Behavior::Turn { user: 0, at: SimTime::from_millis(1_500), delta_deg: 180.0 });
+            for u in 1..cfg.n_users {
+                let at = cfg.join_every_s * u as u64;
+                scfg.behaviors.push(Behavior::WalkTo {
+                    user: u,
+                    at: SimTime::from_secs(at) + SimDuration::from_millis(500),
+                    x: 0.0,
+                    z: 0.0,
+                });
+            }
+            // The turn brings them into view.
+            scfg.behaviors.push(Behavior::Turn { user: 0, at: SimTime::from_secs(turn), delta_deg: 180.0 });
+        }
+    }
+
+    let result = run_session(&scfg);
+    let data = by_server(&result.users[0].ap_records, result.data_server_node);
+    Fig6Report {
+        platform,
+        variant,
+        down: RateSeries::from_records(&data, Direction::Downlink, duration),
+        up: RateSeries::from_records(&data, Direction::Uplink, duration),
+        join_times_s: joins,
+        turn_s: turn,
+    }
+}
+
+impl Fig6Report {
+    /// Mean downlink in the window after join `k` (0 = U1 alone).
+    pub fn down_after_join(&self, k: usize, _cfg: &Fig6Config) -> f64 {
+        let start = if k == 0 { 2 } else { self.join_times_s[k - 1] as usize + 2 };
+        let end = if k < self.join_times_s.len() {
+            self.join_times_s[k] as usize
+        } else {
+            self.turn_s as usize
+        };
+        self.down.mean_kbps(start, end)
+    }
+
+    /// Mean downlink after the turn.
+    pub fn down_after_turn(&self) -> f64 {
+        self.down.mean_kbps(self.turn_s as usize + 2, self.down.len())
+    }
+
+    /// Mean downlink just before the turn.
+    pub fn down_before_turn(&self) -> f64 {
+        let last_join = *self.join_times_s.last().unwrap_or(&0) as usize;
+        self.down.mean_kbps(last_join + 2, self.turn_s as usize)
+    }
+}
+
+impl std::fmt::Display for Fig6Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Fig. 6 ({}, {:?}): joins at {:?} s, turn at {} s",
+            self.platform, self.variant, self.join_times_s, self.turn_s
+        )?;
+        let pts = |s: &RateSeries| -> Vec<(f64, f64)> {
+            s.kbps.iter().enumerate().step_by(4).map(|(i, v)| (i as f64, *v)).collect()
+        };
+        writeln!(f, "{}", crate::report::series_line("  downlink (Kbps)", &pts(&self.down)))?;
+        writeln!(f, "{}", crate::report::series_line("  uplink   (Kbps)", &pts(&self.up)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downlink_steps_up_with_each_join() {
+        let cfg = Fig6Config::quick();
+        let r = run(PlatformId::VrChat, Variant::VisibleThenAway, cfg);
+        let mut last = 0.0;
+        for k in 0..cfg.n_users {
+            let mean = r.down_after_join(k, &cfg);
+            assert!(
+                mean > last,
+                "join {k}: downlink {mean} Kbps should exceed previous {last}"
+            );
+            last = mean;
+        }
+    }
+
+    #[test]
+    fn direct_platforms_ignore_the_turn() {
+        let cfg = Fig6Config::quick();
+        let r = run(PlatformId::RecRoom, Variant::VisibleThenAway, cfg);
+        let before = r.down_before_turn();
+        let after = r.down_after_turn();
+        assert!(
+            after > before * 0.8,
+            "direct forwarding keeps streaming: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn altspace_downlink_collapses_after_turning_away() {
+        let cfg = Fig6Config::quick();
+        let r = run(PlatformId::AltspaceVr, Variant::VisibleThenAway, cfg);
+        let before = r.down_before_turn();
+        let after = r.down_after_turn();
+        assert!(
+            after < before * 0.55,
+            "viewport optimisation should cut the downlink: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn altspace_exp2_stays_low_until_turn() {
+        let cfg = Fig6Config::quick();
+        let r = run(PlatformId::AltspaceVr, Variant::AwayThenVisible, cfg);
+        let before = r.down_before_turn();
+        let after = r.down_after_turn();
+        assert!(
+            after > before * 1.8,
+            "turning toward the crowd should raise the downlink: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn uplink_unaffected_by_peer_count() {
+        // §6.1: "the uplink throughput of each user is unaffected by the
+        // presence of more avatars".
+        let cfg = Fig6Config::quick();
+        let r = run(PlatformId::VrChat, Variant::VisibleThenAway, cfg);
+        let early = r.up.mean_kbps(3, cfg.join_every_s as usize);
+        let late = r.up.mean_kbps(r.turn_s as usize - 6, r.turn_s as usize);
+        assert!(
+            (late - early).abs() < early * 0.4 + 3.0,
+            "uplink {early} → {late} should stay flat"
+        );
+    }
+}

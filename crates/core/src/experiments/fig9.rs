@@ -1,0 +1,130 @@
+//! Figure 9: the large-scale private-Hubs event (15–28 users).
+//!
+//! The public platforms cap events at ~15–16 users, so the paper hosts a
+//! larger event on its own Hubs server. We do the same with the
+//! private-Hubs configuration: user counts up to 28, measuring U1's
+//! downlink and FPS. Expected shape: throughput keeps growing linearly
+//! and FPS keeps falling (~32 % from 15 to 28 users).
+
+use crate::analysis::steady_data_rates;
+use crate::experiments::{steady_from, trial_seed};
+use crate::report::TextTable;
+use crate::stats::{linear_fit, Summary};
+use svr_netsim::{SimDuration, SimTime};
+use svr_platform::session::run_session;
+use svr_platform::{PlatformConfig, SessionConfig};
+
+/// One user-count point.
+#[derive(Debug, Clone)]
+pub struct Fig9Point {
+    /// Concurrent users.
+    pub users: usize,
+    /// U1 downlink, Mbps.
+    pub down_mbps: Summary,
+    /// U1 FPS.
+    pub fps: Summary,
+}
+
+/// The report.
+#[derive(Debug, Clone)]
+pub struct Fig9Report {
+    /// Points for each user count.
+    pub points: Vec<Fig9Point>,
+}
+
+/// Parameters.
+#[derive(Debug, Clone)]
+pub struct Fig9Config {
+    /// User counts (paper: 15, 20, 25, 28).
+    pub user_counts: Vec<usize>,
+    /// Trials per point.
+    pub trials: usize,
+    /// Session length, seconds.
+    pub duration_s: u64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Fig9Config {
+    /// Paper fidelity.
+    pub fn full() -> Self {
+        Fig9Config { user_counts: vec![15, 20, 25, 28], trials: 3, duration_s: 45, seed: 0xF169 }
+    }
+
+    /// CI-sized (smaller event; the shape still shows).
+    pub fn quick() -> Self {
+        Fig9Config { user_counts: vec![4, 8], trials: 1, duration_s: 25, seed: 0xF169 }
+    }
+}
+
+/// Run the experiment on the private Hubs deployment.
+pub fn run(cfg: &Fig9Config) -> Fig9Report {
+    let pcfg = PlatformConfig::private_hubs();
+    let mut points = Vec::new();
+    for &n in &cfg.user_counts {
+        let mut down = Vec::new();
+        let mut fps = Vec::new();
+        for k in 0..cfg.trials {
+            let seed = trial_seed(cfg.seed ^ ((n as u64) << 8), k);
+            let scfg = SessionConfig::walk_and_chat(
+                pcfg.clone(),
+                n,
+                SimDuration::from_secs(cfg.duration_s),
+                seed,
+            );
+            let r = run_session(&scfg);
+            let to = SimTime::from_secs(cfg.duration_s);
+            let rates =
+                steady_data_rates(&r.users[0].ap_records, r.data_server_node, steady_from(), to);
+            down.push(rates.down_kbps / 1e3);
+            fps.push(r.users[0].summarize_between(steady_from(), to).avg_fps);
+        }
+        points.push(Fig9Point { users: n, down_mbps: Summary::of(&down), fps: Summary::of(&fps) });
+    }
+    Fig9Report { points }
+}
+
+impl Fig9Report {
+    /// Linearity of downlink growth: `(slope Mbps/user, R²)`.
+    pub fn downlink_linearity(&self) -> (f64, f64) {
+        let x: Vec<f64> = self.points.iter().map(|p| p.users as f64).collect();
+        let y: Vec<f64> = self.points.iter().map(|p| p.down_mbps.mean).collect();
+        let (s, _i, r2) = linear_fit(&x, &y);
+        (s, r2)
+    }
+}
+
+impl std::fmt::Display for Fig9Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Fig. 9: private-Hubs large event")?;
+        let mut t = TextTable::new(vec!["Users", "Downlink (Mbps)", "FPS"]);
+        for p in &self.points {
+            t.row(vec![
+                p.users.to_string(),
+                format!("{:.2}±{:.2}", p.down_mbps.mean, p.down_mbps.ci95),
+                format!("{:.1}±{:.1}", p.fps.mean, p.fps.ci95),
+            ]);
+        }
+        write!(f, "{}", t.render())?;
+        let (slope, r2) = self.downlink_linearity();
+        writeln!(f, "slope {slope:.3} Mbps/user, R² {r2:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_keeps_growing_and_fps_keeps_falling() {
+        let r = run(&Fig9Config::quick());
+        assert!(r.points.len() >= 2);
+        let first = &r.points[0];
+        let last = r.points.last().unwrap();
+        assert!(last.down_mbps.mean > first.down_mbps.mean * 1.5);
+        assert!(last.fps.mean < first.fps.mean);
+        let (slope, r2) = r.downlink_linearity();
+        assert!(slope > 0.0);
+        assert!(r2 > 0.9, "R² {r2}");
+    }
+}

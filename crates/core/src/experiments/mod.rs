@@ -1,0 +1,60 @@
+//! One module per table and figure of the paper's evaluation.
+//!
+//! Every experiment follows the same contract: a `Config` with a
+//! [`full`](table3::Table3Config::full)-fidelity preset (paper-scale
+//! trials) and a `quick` preset (CI-sized), a `run` function that
+//! executes the simulated measurement and returns a typed report, and a
+//! `Display` impl that prints the same rows/series the paper shows.
+//!
+//! | Module | Paper artefact |
+//! |---|---|
+//! | [`table1`] | Table 1 — feature matrix |
+//! | [`table2`] | Table 2 — protocols, servers, anycast, RTT |
+//! | [`fig2`] | Fig. 2 — control/data channel timelines |
+//! | [`table3`] | Table 3 — two-user throughput & avatar isolation |
+//! | [`fig3`] | Fig. 3 — U1-uplink ↔ U2-downlink matching |
+//! | [`fig6`] | Fig. 6 — join timeline & viewport optimisation |
+//! | [`viewport`] | §6.1 — AltspaceVR viewport-width probe |
+//! | [`fig7`] | Fig. 7 — downlink & FPS vs user count |
+//! | [`fig8`] | Fig. 8 — CPU/GPU/memory vs user count |
+//! | [`fig9`] | Fig. 9 — private-Hubs large event (15–28 users) |
+//! | [`table4`] | Table 4 — E2E latency breakdown |
+//! | [`fig11`] | Fig. 11 — E2E latency vs user count |
+//! | [`fig12`] | Fig. 12 — Worlds downlink throttling |
+//! | [`fig13`] | Fig. 13 — Worlds uplink throttling & TCP priority |
+//! | [`disruption`] | §8.2 — latency/loss tolerance |
+//! | [`vantage`] | §4.2 — west-coast & Europe vantage survey |
+//! | [`takeaways`] | the paper's Takeaways/Implications as a checklist |
+//! | [`ablations`] | §6.3 remote rendering; §5.1 device independence |
+
+pub mod ablations;
+pub mod disruption;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig2;
+pub mod fig3;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod takeaways;
+pub mod vantage;
+pub mod viewport;
+
+use svr_netsim::SimTime;
+
+/// Derive the seed for trial `k` of an experiment.
+pub(crate) fn trial_seed(base: u64, k: usize) -> u64 {
+    base.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((k as u64).wrapping_mul(0x1234_5678_9ABC_DEF1))
+}
+
+/// The steady-state analysis window used when users join at t=5 s.
+pub(crate) fn steady_from() -> SimTime {
+    SimTime::from_secs(15)
+}

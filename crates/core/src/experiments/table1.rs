@@ -1,0 +1,102 @@
+//! Table 1: the feature comparison of the five platforms.
+//!
+//! Unlike the measurement tables this one is a structured capability
+//! survey; the experiment renders it and checks its internal consistency
+//! against the behavioural configs (a platform with facial expressions
+//! must have a facial-capable embodiment, the only gameless platform must
+//! have no game traffic profile, and so on).
+
+use crate::report::TextTable;
+use svr_platform::{FeatureMatrix, Locomotion, PlatformConfig};
+
+/// The rendered feature matrix plus consistency findings.
+#[derive(Debug, Clone)]
+pub struct Table1Report {
+    /// One row per platform, in release order.
+    pub rows: Vec<FeatureMatrix>,
+    /// Cross-checks between Table 1 and the behavioural models.
+    pub consistency_errors: Vec<String>,
+}
+
+/// Build the report.
+pub fn run() -> Table1Report {
+    let rows = FeatureMatrix::all();
+    let mut errors = Vec::new();
+    for row in &rows {
+        let cfg = PlatformConfig::of(row.platform);
+        if row.facial_expression != cfg.embodiment.has_facial_expression() {
+            errors.push(format!(
+                "{}: Table 1 facial expression = {} but embodiment '{}' disagrees",
+                row.platform, row.facial_expression, cfg.embodiment.name
+            ));
+        }
+        if row.games != cfg.game.is_some() {
+            errors.push(format!(
+                "{}: Table 1 games = {} but traffic model disagrees",
+                row.platform, row.games
+            ));
+        }
+    }
+    Table1Report { rows, consistency_errors: errors }
+}
+
+impl std::fmt::Display for Table1Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = TextTable::new(vec![
+            "Platform", "Company", "Locomotion", "Facial Expr.", "Pers. Space", "Game",
+            "Share Screen", "Shopping", "NFT",
+        ]);
+        let tick = |b: bool| if b { "yes" } else { "no" }.to_string();
+        for r in &self.rows {
+            let loco: Vec<&str> = r
+                .locomotion
+                .iter()
+                .map(|l| match l {
+                    Locomotion::Walk => "Walk",
+                    Locomotion::Jump => "Jump",
+                    Locomotion::Fly => "Fly",
+                    Locomotion::Teleport => "Teleport",
+                })
+                .collect();
+            t.row(vec![
+                format!("{} ('{})", r.platform, r.released % 100),
+                r.company.to_string(),
+                loco.join(", "),
+                tick(r.facial_expression),
+                tick(r.personal_space),
+                tick(r.games),
+                tick(r.share_screen),
+                tick(r.shopping),
+                tick(r.nft),
+            ]);
+        }
+        writeln!(f, "Table 1: platform feature comparison")?;
+        write!(f, "{}", t.render())?;
+        for e in &self.consistency_errors {
+            writeln!(f, "INCONSISTENT: {e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svr_platform::PlatformId;
+
+    #[test]
+    fn feature_matrix_consistent_with_behaviour_models() {
+        let r = run();
+        assert!(r.consistency_errors.is_empty(), "{:?}", r.consistency_errors);
+        assert_eq!(r.rows.len(), 5);
+    }
+
+    #[test]
+    fn rendering_contains_all_platforms() {
+        let s = run().to_string();
+        for id in PlatformId::ALL {
+            assert!(s.contains(id.name()), "{s}");
+        }
+        assert!(s.contains("Teleport"));
+    }
+}

@@ -1,0 +1,281 @@
+//! Table 2: network protocols and infrastructure of the five platforms.
+//!
+//! For each platform and channel this experiment (a) identifies the
+//! transport protocol, (b) resolves the serving pool and measures RTT
+//! with real ICMP pings through the simulated network — or the RTCP
+//! LSR/DLSR method for Hubs' WebRTC data channel, which drops ICMP just
+//! like the real deployment (§4.2), (c) runs the multi-vantage anycast
+//! detection, and (d) attributes ownership and location via WHOIS-style
+//! lookup (location is "–" for anycast, as in the paper).
+
+use crate::report::TextTable;
+use crate::stats::Summary;
+use svr_geo::{detect_anycast, Owner, ServerPool, Site, WhoisDb};
+use svr_netsim::{LinkSpec, Network, NodeKind, SimDuration, SimRng, SimTime};
+use svr_platform::{ChannelKind, PlatformConfig, PlatformId};
+use svr_transport::rtp::{parse_rtcp, RtpReceiver, RtpSender};
+use svr_transport::{PingKind, Pinger, PingResponder};
+
+/// One measured row (platform × channel).
+#[derive(Debug, Clone)]
+pub struct ChannelRow {
+    /// Platform.
+    pub platform: PlatformId,
+    /// Which channel.
+    pub channel: ChannelKind,
+    /// Protocol string as the paper prints it.
+    pub protocol: String,
+    /// Server location ("–" when anycast).
+    pub location: String,
+    /// Server operator.
+    pub owner: Owner,
+    /// Anycast verdict from the detection algorithm.
+    pub anycast: bool,
+    /// RTT statistics (ms) from the east-coast vantage.
+    pub rtt: Summary,
+}
+
+/// The full table.
+#[derive(Debug, Clone)]
+pub struct Table2Report {
+    /// Rows in platform order.
+    pub rows: Vec<ChannelRow>,
+}
+
+/// Experiment parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Table2Config {
+    /// Ping probes per channel.
+    pub probes: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Table2Config {
+    /// Paper fidelity (20+ probes).
+    pub fn full() -> Self {
+        Table2Config { probes: 25, seed: 0x7AB1E2 }
+    }
+
+    /// CI-sized.
+    pub fn quick() -> Self {
+        Table2Config { probes: 5, seed: 0x7AB1E2 }
+    }
+}
+
+/// Build the ping topology to a pool and measure RTT from the AP, the
+/// way §4.2 pings from the WiFi APs.
+fn ping_pool(pool: &ServerPool, vantage: Site, probes: usize, rng: &mut SimRng) -> Summary {
+    let rtt = pool.rtt_from(vantage);
+    let mut net = Network::new(rng.next_u64());
+    let ap = net.add_node("ap", NodeKind::AccessPoint);
+    let router = net.add_node("router", NodeKind::Router);
+    let server = net.add_node("server", NodeKind::Server);
+    net.add_duplex_link(ap, router, LinkSpec::campus(), LinkSpec::campus());
+    let one_way = SimDuration::from_micros((rtt / 2).as_micros().saturating_sub(350).max(50));
+    net.add_duplex_link(router, server, LinkSpec::backbone(one_way), LinkSpec::backbone(one_way));
+
+    let mut pinger = Pinger::new(PingKind::Icmp, 33_000, 7);
+    let mut responder = PingResponder::new();
+    let mut t = SimTime::ZERO;
+    for _ in 0..probes {
+        let probe = pinger.probe(net.now().max(t));
+        net.send(ap, server, probe);
+        // Deliver the echo, answer it, deliver the reply.
+        while let Some(d) = net.poll(t + SimDuration::from_secs(2)) {
+            if d.dst == server {
+                if let Some(reply) = responder.on_packet(&d.packet) {
+                    net.send(server, ap, reply);
+                }
+            } else {
+                // Kernel/scheduler noise on the echo timestamping.
+                let noisy = d.at + SimDuration::from_micros(rng.range_u64(0, 400));
+                pinger.on_packet(noisy, &d.packet);
+                break;
+            }
+        }
+        t += SimDuration::from_secs(1);
+        net.poll_all(t);
+    }
+    Summary::of(pinger.stats.samples_ms())
+}
+
+/// RTCP-based RTT for Hubs' WebRTC server (Chrome's
+/// `RTCIceCandidatePairStats` method, §4.2).
+fn rtcp_rtt(pool: &ServerPool, vantage: Site, probes: usize, rng: &mut SimRng) -> Summary {
+    let rtt = pool.rtt_from(vantage);
+    let mut net = Network::new(rng.next_u64());
+    let ap = net.add_node("ap", NodeKind::AccessPoint);
+    let server = net.add_node("sfu", NodeKind::Server);
+    let one_way = SimDuration::from_micros((rtt / 2).as_micros().max(50));
+    net.add_duplex_link(ap, server, LinkSpec::backbone(one_way), LinkSpec::backbone(one_way));
+
+    let mut sender = RtpSender::new(0xC0FFEE, 9_000, 9_001);
+    let mut receiver = RtpReceiver::new(0xD00D, 9_001, 9_000);
+    for k in 0..probes {
+        // Force an SR each round (5 s apart satisfies the SR interval).
+        let t = SimTime::from_secs(5 * (k as u64 + 1));
+        net.poll_all(t);
+        if let Some(sr) = sender.on_tick(t) {
+            net.send(ap, server, sr);
+        }
+        while let Some(d) = net.poll(t + SimDuration::from_secs(4)) {
+            if d.dst == server {
+                receiver.on_packet(d.at, &d.packet);
+                // Receiver holds the report briefly, then replies.
+                let hold = SimDuration::from_micros(rng.range_u64(200, 1_200));
+                net.poll_all(d.at + hold);
+                let rr = receiver.report(d.at + hold);
+                net.send(server, ap, rr);
+            } else if let Some(report) = parse_rtcp(&d.packet.payload) {
+                sender.on_rtcp(d.at, &report);
+                break;
+            }
+        }
+    }
+    let samples: Vec<f64> = sender.rtt_samples.iter().map(|d| d.as_millis_f64()).collect();
+    Summary::of(&samples)
+}
+
+fn measure_channel(
+    id: PlatformId,
+    channel: ChannelKind,
+    cfg: &PlatformConfig,
+    probes: usize,
+    rng: &mut SimRng,
+) -> ChannelRow {
+    let (pool, protocol) = match channel {
+        ChannelKind::Control => (&cfg.control_pool, "HTTPS".to_string()),
+        ChannelKind::Data => {
+            let proto = match cfg.data_transport {
+                svr_platform::DataTransport::Udp => "UDP".to_string(),
+                svr_platform::DataTransport::TlsStream => "RTP/RTCP + HTTPS".to_string(),
+            };
+            (&cfg.data_pool, proto)
+        }
+    };
+    let vantage = Site::FairfaxVa;
+    let verdict = detect_anycast(pool);
+    let assignment = pool.assign(vantage, 0);
+    let whois = WhoisDb::new();
+    let location = if verdict.is_anycast {
+        "-".to_string()
+    } else {
+        whois
+            .geolocate(assignment.ip)
+            .map(|s| s.region().to_string())
+            .unwrap_or_else(|| "-".to_string())
+    };
+    // Hubs' data server filters ICMP; measure via RTCP instead (§4.2).
+    let rtt = if id == PlatformId::Hubs && channel == ChannelKind::Data {
+        rtcp_rtt(pool, vantage, probes, rng)
+    } else {
+        ping_pool(pool, vantage, probes, rng)
+    };
+    ChannelRow { platform: id, channel, protocol, location, owner: pool.owner, anycast: verdict.is_anycast, rtt }
+}
+
+/// Run the Table 2 measurement.
+pub fn run(cfg: Table2Config) -> Table2Report {
+    let mut rng = SimRng::seed_from_u64(cfg.seed);
+    let mut rows = Vec::new();
+    for id in PlatformId::ALL {
+        let pcfg = PlatformConfig::of(id);
+        rows.push(measure_channel(id, ChannelKind::Control, &pcfg, cfg.probes, &mut rng));
+        rows.push(measure_channel(id, ChannelKind::Data, &pcfg, cfg.probes, &mut rng));
+    }
+    Table2Report { rows }
+}
+
+impl std::fmt::Display for Table2Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = TextTable::new(vec![
+            "Platform", "Channel", "Protocol", "Server Loc./Owner", "Anycast?", "RTT (ms)",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.platform.to_string(),
+                match r.channel {
+                    ChannelKind::Control => "Control".to_string(),
+                    ChannelKind::Data => "Data".to_string(),
+                },
+                r.protocol.clone(),
+                format!("{} / {}", r.location, r.owner),
+                if r.anycast { "yes" } else { "no" }.to_string(),
+                format!("{:.2}/{:.2}", r.rtt.mean, r.rtt.std),
+            ]);
+        }
+        writeln!(f, "Table 2: network protocols and infrastructure (east-coast vantage)")?;
+        write!(f, "{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(rep: &Table2Report, id: PlatformId, ch: ChannelKind) -> &ChannelRow {
+        rep.rows.iter().find(|r| r.platform == id && r.channel == ch).unwrap()
+    }
+
+    #[test]
+    fn protocols_match_paper() {
+        let rep = run(Table2Config::quick());
+        for id in PlatformId::ALL {
+            assert_eq!(row(&rep, id, ChannelKind::Control).protocol, "HTTPS");
+        }
+        assert_eq!(row(&rep, PlatformId::Hubs, ChannelKind::Data).protocol, "RTP/RTCP + HTTPS");
+        assert_eq!(row(&rep, PlatformId::Worlds, ChannelKind::Data).protocol, "UDP");
+    }
+
+    #[test]
+    fn anycast_and_location_match_paper() {
+        let rep = run(Table2Config::quick());
+        // Anycast: AltspaceVR ctl, Rec Room both, VRChat data.
+        assert!(row(&rep, PlatformId::AltspaceVr, ChannelKind::Control).anycast);
+        assert!(!row(&rep, PlatformId::AltspaceVr, ChannelKind::Data).anycast);
+        assert!(row(&rep, PlatformId::RecRoom, ChannelKind::Control).anycast);
+        assert!(row(&rep, PlatformId::RecRoom, ChannelKind::Data).anycast);
+        assert!(row(&rep, PlatformId::VrChat, ChannelKind::Data).anycast);
+        assert!(!row(&rep, PlatformId::Worlds, ChannelKind::Data).anycast);
+        // Locations: anycast rows show "-", AltspaceVR data = western US.
+        assert_eq!(row(&rep, PlatformId::RecRoom, ChannelKind::Data).location, "-");
+        assert_eq!(row(&rep, PlatformId::AltspaceVr, ChannelKind::Data).location, "Western U.S.");
+        assert_eq!(row(&rep, PlatformId::Worlds, ChannelKind::Data).location, "Eastern U.S.");
+    }
+
+    #[test]
+    fn rtts_match_paper_shape() {
+        let rep = run(Table2Config::quick());
+        // Nearby channels < 5 ms; west-coast unicast > 60 ms.
+        assert!(row(&rep, PlatformId::Worlds, ChannelKind::Data).rtt.mean < 5.0);
+        assert!(row(&rep, PlatformId::VrChat, ChannelKind::Control).rtt.mean < 5.0);
+        assert!(row(&rep, PlatformId::RecRoom, ChannelKind::Data).rtt.mean < 5.0);
+        let alts_data = row(&rep, PlatformId::AltspaceVr, ChannelKind::Data).rtt.mean;
+        assert!(alts_data > 60.0, "AltspaceVR data RTT {alts_data}");
+        let hubs_ctl = row(&rep, PlatformId::Hubs, ChannelKind::Control).rtt.mean;
+        assert!(hubs_ctl > 60.0, "Hubs control RTT {hubs_ctl}");
+        // Hubs data via RTCP also shows the west-coast RTT.
+        let hubs_data = row(&rep, PlatformId::Hubs, ChannelKind::Data).rtt.mean;
+        assert!(hubs_data > 60.0, "Hubs RTCP RTT {hubs_data}");
+    }
+
+    #[test]
+    fn owners_match_whois() {
+        let rep = run(Table2Config::quick());
+        assert_eq!(row(&rep, PlatformId::RecRoom, ChannelKind::Data).owner, Owner::Cloudflare);
+        assert_eq!(row(&rep, PlatformId::RecRoom, ChannelKind::Control).owner, Owner::Ans);
+        assert_eq!(row(&rep, PlatformId::VrChat, ChannelKind::Control).owner, Owner::Aws);
+        assert_eq!(row(&rep, PlatformId::Worlds, ChannelKind::Data).owner, Owner::Meta);
+        assert_eq!(row(&rep, PlatformId::AltspaceVr, ChannelKind::Data).owner, Owner::Microsoft);
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let rep = run(Table2Config::quick());
+        let s = rep.to_string();
+        assert_eq!(rep.rows.len(), 10);
+        assert!(s.contains("RTP/RTCP"));
+        assert!(s.contains("Cloudflare"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Table 3: two-user data-channel throughput, resolution, and the
+//! avatar-only rate isolated by the §5.2 mute-join differencing.
+//!
+//! For every platform, over `trials` seeded runs: (a) two Quest 2 users
+//! walk and chat; steady-state uplink/downlink rates are read from U1's
+//! AP capture; (b) a solo run measures U1's downlink alone (`T`), so the
+//! avatar rate is `T' − T` exactly as the paper computes it.
+
+use crate::analysis::steady_data_rates;
+use crate::experiments::{steady_from, trial_seed};
+use crate::report::TextTable;
+use crate::stats::Summary;
+use svr_client::Resolution;
+use svr_netsim::{SimDuration, SimTime};
+use svr_platform::session::run_session;
+use svr_platform::{PlatformConfig, PlatformId, SessionConfig};
+
+/// One platform's measured row.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Platform.
+    pub platform: PlatformId,
+    /// Uplink throughput, Kbps.
+    pub up: Summary,
+    /// Downlink throughput, Kbps.
+    pub down: Summary,
+    /// Rendered content resolution.
+    pub resolution: Resolution,
+    /// Avatar-only rate from the differencing method, Kbps.
+    pub avatar: Summary,
+}
+
+/// The full table.
+#[derive(Debug, Clone)]
+pub struct Table3Report {
+    /// One row per platform (paper order: by ascending throughput).
+    pub rows: Vec<Table3Row>,
+}
+
+/// Parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Table3Config {
+    /// Independent trials per platform (paper: >20).
+    pub trials: usize,
+    /// Session length per trial, seconds.
+    pub duration_s: u64,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Table3Config {
+    /// Paper fidelity.
+    pub fn full() -> Self {
+        Table3Config { trials: 20, duration_s: 60, seed: 0x7AB1E3 }
+    }
+
+    /// CI-sized.
+    pub fn quick() -> Self {
+        Table3Config { trials: 2, duration_s: 35, seed: 0x7AB1E3 }
+    }
+}
+
+/// Measure one platform.
+pub fn run_platform(id: PlatformId, cfg: Table3Config) -> Table3Row {
+    let pcfg = PlatformConfig::of(id);
+    let duration = SimDuration::from_secs(cfg.duration_s);
+    let mut ups = Vec::new();
+    let mut downs = Vec::new();
+    let mut avatars = Vec::new();
+    for k in 0..cfg.trials {
+        let seed = trial_seed(cfg.seed ^ (id as u64) << 8, k);
+        // Two-user run.
+        let scfg = SessionConfig::walk_and_chat(pcfg.clone(), 2, duration, seed);
+        let r2 = run_session(&scfg);
+        let to = SimTime::ZERO + duration;
+        let rates2 =
+            steady_data_rates(&r2.users[0].ap_records, r2.data_server_node, steady_from(), to);
+        ups.push(rates2.up_kbps);
+        downs.push(rates2.down_kbps);
+        // Solo run: U1 alone, downlink is server housekeeping only.
+        let scfg1 = SessionConfig::walk_and_chat(pcfg.clone(), 1, duration, seed ^ 0x0501);
+        let r1 = run_session(&scfg1);
+        let rates1 =
+            steady_data_rates(&r1.users[0].ap_records, r1.data_server_node, steady_from(), to);
+        avatars.push(crate::analysis::avatar_rate_by_differencing(
+            rates1.down_kbps,
+            rates2.down_kbps,
+        ));
+    }
+    Table3Row {
+        platform: id,
+        up: Summary::of(&ups),
+        down: Summary::of(&downs),
+        resolution: pcfg.resolution,
+        avatar: Summary::of(&avatars),
+    }
+}
+
+/// Run for all five platforms.
+pub fn run(cfg: Table3Config) -> Table3Report {
+    let order = [
+        PlatformId::VrChat,
+        PlatformId::AltspaceVr,
+        PlatformId::RecRoom,
+        PlatformId::Hubs,
+        PlatformId::Worlds,
+    ];
+    Table3Report { rows: order.into_iter().map(|id| run_platform(id, cfg)).collect() }
+}
+
+/// The paper's Table 3 values for comparison: (up, down, avatar), Kbps.
+pub fn paper_values(id: PlatformId) -> (f64, f64, f64) {
+    match id {
+        PlatformId::VrChat => (31.4, 31.3, 24.7),
+        PlatformId::AltspaceVr => (41.3, 40.4, 11.1),
+        PlatformId::RecRoom => (41.7, 41.5, 35.2),
+        PlatformId::Hubs => (83.3, 83.1, 77.4),
+        PlatformId::Worlds => (752.0, 413.0, 332.0),
+    }
+}
+
+impl std::fmt::Display for Table3Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = TextTable::new(vec![
+            "Platform", "Up (Kbps)", "Down (Kbps)", "Resolution", "Avatar (Kbps)", "Paper (up/down/avatar)",
+        ]);
+        for r in &self.rows {
+            let (pu, pd, pa) = paper_values(r.platform);
+            t.row(vec![
+                r.platform.to_string(),
+                r.up.cell(),
+                r.down.cell(),
+                r.resolution.to_string(),
+                r.avatar.cell(),
+                format!("{pu}/{pd}/{pa}"),
+            ]);
+        }
+        writeln!(f, "Table 3: two-user throughput and avatar data rate")?;
+        write!(f, "{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::relative_error;
+
+    #[test]
+    fn vrchat_rates_match_paper_band() {
+        let row = run_platform(PlatformId::VrChat, Table3Config::quick());
+        let (pu, pd, pa) = paper_values(PlatformId::VrChat);
+        assert!(relative_error(row.up.mean, pu) < 0.30, "up {} vs {pu}", row.up.mean);
+        assert!(relative_error(row.down.mean, pd) < 0.30, "down {} vs {pd}", row.down.mean);
+        assert!(relative_error(row.avatar.mean, pa) < 0.35, "avatar {} vs {pa}", row.avatar.mean);
+    }
+
+    #[test]
+    fn worlds_uplink_exceeds_downlink() {
+        // §5.1: the server keeps part of Worlds' uplink (telemetry), so
+        // U2's downlink is visibly lower than U1's uplink.
+        let row = run_platform(PlatformId::Worlds, Table3Config::quick());
+        assert!(
+            row.up.mean > row.down.mean * 1.4,
+            "up {} vs down {}",
+            row.up.mean,
+            row.down.mean
+        );
+        // And an order of magnitude above the light platforms.
+        assert!(row.up.mean > 400.0, "{}", row.up.mean);
+    }
+
+    #[test]
+    fn symmetric_platforms_have_matching_up_down() {
+        for id in [PlatformId::VrChat, PlatformId::RecRoom] {
+            let row = run_platform(id, Table3Config::quick());
+            let ratio = row.up.mean / row.down.mean.max(0.001);
+            assert!((0.7..1.4).contains(&ratio), "{id}: up/down ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn avatar_rate_ordering_matches_embodiment_complexity() {
+        let cfg = Table3Config::quick();
+        let alts = run_platform(PlatformId::AltspaceVr, cfg).avatar.mean;
+        let vrchat = run_platform(PlatformId::VrChat, cfg).avatar.mean;
+        let worlds = run_platform(PlatformId::Worlds, cfg).avatar.mean;
+        assert!(alts < vrchat, "{alts} < {vrchat}");
+        assert!(vrchat < worlds, "{vrchat} < {worlds}");
+        assert!(worlds > 8.0 * vrchat, "Worlds 10x: {worlds} vs {vrchat}");
+    }
+
+    #[test]
+    fn resolution_is_reported_per_platform() {
+        let rep = run(Table3Config { trials: 1, duration_s: 25, seed: 1 });
+        let alts = rep.rows.iter().find(|r| r.platform == PlatformId::AltspaceVr).unwrap();
+        assert_eq!(alts.resolution.to_string(), "2016x2224");
+        assert!(rep.to_string().contains("1440x1584"));
+    }
+}

@@ -1,0 +1,204 @@
+//! Table 4: end-to-end latency and its sender/receiver/server breakdown.
+//!
+//! Two users; U1 performs marked actions (the finger-touch of §7) every
+//! couple of seconds; each action's journey is timestamped at the four
+//! instrumentation points, giving E2E plus the sender, server (transit
+//! minus the ping-estimated network share), and receiver components.
+//! Includes the paper's private-Hubs row (Hubs*), which shows the same
+//! software with a nearby, unloaded server.
+
+use crate::experiments::trial_seed;
+use crate::latency::{breakdown, LatencyBreakdown};
+use crate::report::TextTable;
+use svr_geo::Site;
+use svr_netsim::{SimDuration, SimTime};
+use svr_platform::session::run_session;
+use svr_platform::{Behavior, PlatformConfig, SessionConfig};
+
+/// One measured row.
+#[derive(Debug, Clone)]
+pub struct Table4Row {
+    /// Label ("Hubs*" for the private deployment).
+    pub label: String,
+    /// The aggregated breakdown, all in ms.
+    pub breakdown: LatencyBreakdown,
+}
+
+/// The full table.
+#[derive(Debug, Clone)]
+pub struct Table4Report {
+    /// Rows in the paper's order (ascending E2E).
+    pub rows: Vec<Table4Row>,
+}
+
+/// Parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Table4Config {
+    /// Trials per platform.
+    pub trials: usize,
+    /// Actions per trial.
+    pub actions: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Table4Config {
+    /// Paper fidelity.
+    pub fn full() -> Self {
+        Table4Config { trials: 4, actions: 20, seed: 0x7AB1E4 }
+    }
+
+    /// CI-sized.
+    pub fn quick() -> Self {
+        Table4Config { trials: 1, actions: 8, seed: 0x7AB1E4 }
+    }
+}
+
+/// Measure one configuration.
+pub fn run_config(label: &str, pcfg: PlatformConfig, cfg: Table4Config) -> Table4Row {
+    let mut all_actions = Vec::new();
+    let duration_s = 12 + cfg.actions as u64 * 2;
+    for k in 0..cfg.trials {
+        let seed = trial_seed(cfg.seed ^ (label.len() as u64) << 40, k);
+        let mut scfg = SessionConfig::walk_and_chat(
+            pcfg.clone(),
+            2,
+            SimDuration::from_secs(duration_s),
+            seed,
+        );
+        for a in 0..cfg.actions {
+            scfg.behaviors.push(Behavior::Action {
+                user: 0,
+                at: SimTime::from_secs(10 + a as u64 * 2),
+            });
+        }
+        let r = run_session(&scfg);
+        all_actions.extend(r.actions.into_iter().filter(|a| a.to == 1));
+    }
+    Table4Row { label: label.to_string(), breakdown: breakdown(&all_actions, &pcfg, Site::FairfaxVa) }
+}
+
+/// Run the full table: the five platforms plus the private Hubs.
+pub fn run(cfg: Table4Config) -> Table4Report {
+    let mut rows = vec![
+        run_config("Rec Room", PlatformConfig::recroom(), cfg),
+        run_config("VRChat", PlatformConfig::vrchat(), cfg),
+        run_config("Worlds", PlatformConfig::worlds(), cfg),
+        run_config("AltspaceVR", PlatformConfig::altspace(), cfg),
+        run_config("Hubs", PlatformConfig::hubs(), cfg),
+        run_config("Hubs*", PlatformConfig::private_hubs(), cfg),
+    ];
+    // The paper orders by ascending E2E (with Hubs* last).
+    let hubs_star = rows.pop().unwrap();
+    rows.sort_by(|a, b| a.breakdown.e2e.mean.partial_cmp(&b.breakdown.e2e.mean).unwrap());
+    rows.push(hubs_star);
+    Table4Report { rows }
+}
+
+/// Paper values: (e2e, sender, receiver, server) in ms.
+pub fn paper_values(label: &str) -> Option<(f64, f64, f64, f64)> {
+    Some(match label {
+        "Rec Room" => (101.7, 25.9, 39.9, 29.9),
+        "VRChat" => (104.3, 27.3, 37.4, 33.5),
+        "Worlds" => (128.5, 26.2, 49.1, 40.2),
+        "AltspaceVR" => (209.2, 24.5, 36.1, 68.6),
+        "Hubs" => (239.1, 42.4, 60.1, 52.2),
+        "Hubs*" => (130.7, 40.3, 61.5, 16.2),
+        _ => return None,
+    })
+}
+
+impl std::fmt::Display for Table4Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = TextTable::new(vec![
+            "Platform", "E2E (ms)", "Sender", "Receiver", "Server", "Paper E2E",
+        ]);
+        for r in &self.rows {
+            let b = &r.breakdown;
+            let paper = paper_values(&r.label).map(|p| format!("{:.1}", p.0)).unwrap_or_default();
+            t.row(vec![
+                r.label.clone(),
+                b.e2e.cell(),
+                b.sender.cell(),
+                b.receiver.cell(),
+                b.server.cell(),
+                paper,
+            ]);
+        }
+        writeln!(f, "Table 4: end-to-end latency breakdown (two users, east coast)")?;
+        write!(f, "{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::relative_error;
+
+    #[test]
+    fn e2e_ordering_matches_paper() {
+        let rep = run(Table4Config::quick());
+        let e2e = |label: &str| {
+            rep.rows.iter().find(|r| r.label == label).unwrap().breakdown.e2e.mean
+        };
+        // Rec Room ≈ VRChat < Worlds < AltspaceVR < Hubs; Hubs* ≪ Hubs.
+        assert!(e2e("Rec Room") < e2e("Worlds"));
+        assert!(e2e("VRChat") < e2e("Worlds"));
+        assert!(e2e("Worlds") < e2e("AltspaceVR"));
+        assert!(e2e("AltspaceVR") < e2e("Hubs"));
+        assert!(e2e("Hubs*") < e2e("Hubs") * 0.7, "private server cuts latency");
+    }
+
+    #[test]
+    fn absolute_values_within_paper_band() {
+        let rep = run(Table4Config::quick());
+        for r in &rep.rows {
+            let (paper_e2e, ..) = paper_values(&r.label).unwrap();
+            let err = relative_error(r.breakdown.e2e.mean, paper_e2e);
+            assert!(
+                err < 0.25,
+                "{}: measured {:.1} vs paper {paper_e2e} ({:.0}% off)",
+                r.label,
+                r.breakdown.e2e.mean,
+                err * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn receiver_exceeds_sender_everywhere() {
+        // §7: receiver-side processing is higher than sender-side on all
+        // platforms — an indication of local rendering.
+        let rep = run(Table4Config::quick());
+        for r in &rep.rows {
+            assert!(
+                r.breakdown.receiver.mean > r.breakdown.sender.mean,
+                "{}: receiver {:.1} vs sender {:.1}",
+                r.label,
+                r.breakdown.receiver.mean,
+                r.breakdown.sender.mean
+            );
+        }
+    }
+
+    #[test]
+    fn altspace_has_highest_server_latency() {
+        // §7 attributes it to the viewport-prediction work.
+        let rep = run(Table4Config::quick());
+        let alts = rep.rows.iter().find(|r| r.label == "AltspaceVR").unwrap().breakdown.server.mean;
+        for r in &rep.rows {
+            if r.label != "AltspaceVR" {
+                assert!(alts > r.breakdown.server.mean, "AltspaceVR {alts} vs {} {}", r.label, r.breakdown.server.mean);
+            }
+        }
+    }
+
+    #[test]
+    fn hubs_private_server_processing_collapses() {
+        // ~70% server-latency reduction on the t3.medium deployment (§7).
+        let rep = run(Table4Config::quick());
+        let public = rep.rows.iter().find(|r| r.label == "Hubs").unwrap().breakdown.server.mean;
+        let private = rep.rows.iter().find(|r| r.label == "Hubs*").unwrap().breakdown.server.mean;
+        assert!(private < public * 0.5, "server proc {public} → {private}");
+    }
+}

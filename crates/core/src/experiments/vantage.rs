@@ -1,0 +1,158 @@
+//! §4.2's extra vantage points: western U.S. and Europe.
+//!
+//! The paper repeats its infrastructure survey from Los Angeles and the
+//! United Kingdom and finds: AltspaceVR's and Hubs' data servers stay on
+//! the U.S. west coast (~140-150 ms from Europe), while anycast platforms
+//! and Worlds always provide a nearby server (<5 ms) — except that Worlds
+//! is not available in Europe at all.
+
+use crate::report::TextTable;
+use svr_geo::Site;
+use svr_platform::{ChannelKind, PlatformConfig, PlatformId};
+
+/// RTT of one platform/channel from each vantage, ms.
+#[derive(Debug, Clone)]
+pub struct VantageRow {
+    /// Platform.
+    pub platform: PlatformId,
+    /// Channel.
+    pub channel: ChannelKind,
+    /// `(vantage, rtt_ms)` per measured site; Worlds is absent from
+    /// Europe ([`None`]), matching its U.S./Canada-only availability.
+    pub rtts: Vec<(Site, Option<f64>)>,
+}
+
+/// The multi-vantage survey.
+#[derive(Debug, Clone)]
+pub struct VantageReport {
+    /// Vantage points measured from.
+    pub vantages: Vec<Site>,
+    /// One row per platform/channel.
+    pub rows: Vec<VantageRow>,
+}
+
+/// Run the survey from the paper's three measurement locations.
+pub fn run() -> VantageReport {
+    let vantages = vec![Site::FairfaxVa, Site::LosAngeles, Site::London];
+    let mut rows = Vec::new();
+    for id in PlatformId::ALL {
+        let cfg = PlatformConfig::of(id);
+        for (channel, pool) in
+            [(ChannelKind::Control, &cfg.control_pool), (ChannelKind::Data, &cfg.data_pool)]
+        {
+            let rtts = vantages
+                .iter()
+                .map(|v| {
+                    // Worlds is only available in the U.S. and Canada.
+                    if id == PlatformId::Worlds && v.region() == svr_geo::Region::Europe {
+                        (*v, None)
+                    } else {
+                        (*v, Some(pool.rtt_from(*v).as_millis_f64()))
+                    }
+                })
+                .collect();
+            rows.push(VantageRow { platform: id, channel, rtts });
+        }
+    }
+    VantageReport { vantages, rows }
+}
+
+impl VantageReport {
+    /// RTT of a platform/channel from a vantage, if measurable.
+    pub fn rtt(&self, id: PlatformId, channel: ChannelKind, vantage: Site) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.platform == id && r.channel == channel)?
+            .rtts
+            .iter()
+            .find(|(v, _)| *v == vantage)?
+            .1
+    }
+}
+
+impl std::fmt::Display for VantageReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "§4.2 multi-vantage RTT survey (ms)")?;
+        let mut header = vec!["Platform".to_string(), "Channel".to_string()];
+        header.extend(self.vantages.iter().map(|v| v.to_string()));
+        let mut t = TextTable::new(header);
+        for r in &self.rows {
+            let mut row = vec![
+                r.platform.to_string(),
+                match r.channel {
+                    ChannelKind::Control => "Control".to_string(),
+                    ChannelKind::Data => "Data".to_string(),
+                },
+            ];
+            row.extend(r.rtts.iter().map(|(_, rtt)| match rtt {
+                Some(ms) => format!("{ms:.1}"),
+                None => "n/a".to_string(),
+            }));
+            t.row(row);
+        }
+        write!(f, "{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn altspace_and_hubs_data_servers_are_far_from_europe() {
+        // Paper: ~150 ms (AltspaceVR) and ~140 ms (Hubs) from the UK.
+        let r = run();
+        let alts = r.rtt(PlatformId::AltspaceVr, ChannelKind::Data, Site::London).unwrap();
+        assert!((120.0..175.0).contains(&alts), "AltspaceVR from UK: {alts} ms");
+        let hubs = r.rtt(PlatformId::Hubs, ChannelKind::Data, Site::London).unwrap();
+        assert!((120.0..175.0).contains(&hubs), "Hubs from UK: {hubs} ms");
+    }
+
+    #[test]
+    fn anycast_platforms_are_near_every_vantage() {
+        // Paper: Rec Room and VRChat assign nearby/anycast servers with
+        // <5 ms everywhere; AltspaceVR's *control* anycast too.
+        let r = run();
+        for v in [Site::FairfaxVa, Site::LosAngeles, Site::London] {
+            for (id, ch) in [
+                (PlatformId::RecRoom, ChannelKind::Data),
+                (PlatformId::VrChat, ChannelKind::Data),
+                (PlatformId::RecRoom, ChannelKind::Control),
+                (PlatformId::AltspaceVr, ChannelKind::Control),
+            ] {
+                let ms = r.rtt(id, ch, v).unwrap();
+                assert!(ms < 5.0, "{id:?}/{ch:?} from {v}: {ms} ms");
+            }
+        }
+    }
+
+    #[test]
+    fn worlds_is_unavailable_in_europe() {
+        let r = run();
+        assert_eq!(r.rtt(PlatformId::Worlds, ChannelKind::Data, Site::London), None);
+        assert!(r.rtt(PlatformId::Worlds, ChannelKind::Data, Site::FairfaxVa).is_some());
+    }
+
+    #[test]
+    fn hubs_control_is_regional_but_data_is_not() {
+        // Paper: Hubs has HTTPS servers in Europe (<5 ms) but its WebRTC
+        // SFU stays in the western U.S. We model the public production
+        // Hubs of the study period with a single-region control plane, so
+        // control from Europe is also far — but data must never be nearer
+        // than control from any vantage.
+        let r = run();
+        for v in [Site::FairfaxVa, Site::LosAngeles, Site::London] {
+            let ctl = r.rtt(PlatformId::Hubs, ChannelKind::Control, v).unwrap();
+            let data = r.rtt(PlatformId::Hubs, ChannelKind::Data, v).unwrap();
+            assert!(data + 1.0 >= ctl, "from {v}: data {data} vs control {ctl}");
+        }
+    }
+
+    #[test]
+    fn renders_with_all_vantages() {
+        let s = run().to_string();
+        assert!(s.contains("lax"));
+        assert!(s.contains("lhr"));
+        assert!(s.contains("n/a"), "Worlds row shows unavailability");
+    }
+}

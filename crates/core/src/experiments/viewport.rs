@@ -1,0 +1,159 @@
+//! §6.1's viewport-width probe for AltspaceVR.
+//!
+//! Two users; U2 stands still. U1 starts facing away from U2 and snaps
+//! the controller 16 times (22.5° each — one full circle), dwelling at
+//! each heading. For each dwell the probe checks whether U2's avatar data
+//! flowed on U1's downlink; the count of data-carrying headings times
+//! 22.5° estimates the server's forwarding viewport — the paper measures
+//! ~150°, for up to ~58 % data savings.
+
+use svr_netsim::capture::{by_server, Direction};
+use svr_netsim::{SimDuration, SimTime};
+use svr_platform::session::run_session;
+use svr_platform::{Behavior, PlatformConfig, PlatformId, SessionConfig};
+
+/// The probe's outcome.
+#[derive(Debug, Clone)]
+pub struct ViewportReport {
+    /// Per-heading downlink mean (Kbps), heading index 0..16.
+    pub per_heading_kbps: Vec<f64>,
+    /// Headings classified as "avatar visible".
+    pub visible_headings: usize,
+    /// Estimated viewport width in degrees.
+    pub estimated_width_deg: f64,
+    /// Theoretical data saving: `1 − width/360`.
+    pub max_saving: f64,
+}
+
+/// Parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ViewportConfig {
+    /// Dwell per heading, seconds.
+    pub dwell_s: u64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl ViewportConfig {
+    /// Paper-scale dwell.
+    pub fn full() -> Self {
+        ViewportConfig { dwell_s: 10, seed: 0x56D0 }
+    }
+
+    /// CI-sized.
+    pub fn quick() -> Self {
+        ViewportConfig { dwell_s: 4, seed: 0x56D0 }
+    }
+}
+
+/// Run the probe (on AltspaceVR unless another platform is passed — the
+/// same probe on a direct-forwarding platform measures 360°).
+pub fn run(platform: PlatformId, cfg: ViewportConfig) -> ViewportReport {
+    let pcfg = PlatformConfig::of(platform);
+    let steps = 16usize;
+    let settle = 6u64;
+    let duration_s = settle + cfg.dwell_s * steps as u64;
+    let mut scfg = SessionConfig::walk_and_chat(
+        pcfg,
+        2,
+        SimDuration::from_secs(duration_s),
+        cfg.seed,
+    );
+    scfg.behaviors = vec![
+        Behavior::Join { user: 0, at: SimTime::from_secs(1) },
+        Behavior::Join { user: 1, at: SimTime::from_secs(1) },
+        // U2 stands 4 m "north" of U1's spawn; U1 initially faces south.
+        Behavior::WalkTo { user: 1, at: SimTime::from_millis(1_200), x: 2.0, z: 4.0 },
+        Behavior::SetHeading { user: 0, at: SimTime::from_millis(1_200), deg: 180.0 },
+    ];
+    for k in 1..steps {
+        scfg.behaviors.push(Behavior::Turn {
+            user: 0,
+            at: SimTime::from_secs(settle + cfg.dwell_s * k as u64),
+            delta_deg: 22.5,
+        });
+    }
+    let result = run_session(&scfg);
+    let data = by_server(&result.users[0].ap_records, result.data_server_node);
+
+    let mut per_heading = Vec::with_capacity(steps);
+    for k in 0..steps {
+        let start = settle + cfg.dwell_s * k as u64;
+        let end = start + cfg.dwell_s;
+        // Skip the first second of each dwell (forwarding decisions use
+        // the heading the server learned from U1's own updates).
+        let from = SimTime::from_secs(start + 1);
+        let to = SimTime::from_secs(end);
+        let bytes: u64 = data
+            .iter()
+            .filter(|r| r.direction == Direction::Downlink && r.ts >= from && r.ts < to)
+            .map(|r| r.wire_bytes)
+            .sum();
+        per_heading.push(bytes as f64 * 8.0 / (to.saturating_since(from)).as_secs_f64() / 1e3);
+    }
+
+    // Visible = downlink clearly above the housekeeping floor. If the
+    // series is essentially flat, there is no viewport gating at all
+    // (direct forwarding) and the whole circle is "visible".
+    let floor = per_heading.iter().cloned().fold(f64::MAX, f64::min);
+    let peak = per_heading.iter().cloned().fold(0.0, f64::max);
+    let (visible, width) = if peak - floor < 0.15 * peak.max(1e-9) {
+        (steps, 360.0)
+    } else {
+        let threshold = floor + (peak - floor) * 0.4;
+        let visible = per_heading.iter().filter(|v| **v > threshold).count();
+        (visible, visible as f64 * 22.5)
+    };
+
+    ViewportReport {
+        per_heading_kbps: per_heading,
+        visible_headings: visible,
+        estimated_width_deg: width,
+        max_saving: 1.0 - width / 360.0,
+    }
+}
+
+impl std::fmt::Display for ViewportReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "§6.1 viewport probe: {} of 16 headings carry avatar data → width ≈ {:.1}° (paper ~150°), max saving {:.0}%",
+            self.visible_headings,
+            self.estimated_width_deg,
+            self.max_saving * 100.0
+        )?;
+        let pts: Vec<(f64, f64)> = self
+            .per_heading_kbps
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as f64 * 22.5, *v))
+            .collect();
+        writeln!(f, "{}", crate::report::series_line("  downlink by heading (Kbps)", &pts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn altspace_viewport_is_about_150_degrees() {
+        let r = run(PlatformId::AltspaceVr, ViewportConfig::quick());
+        assert!(
+            (120.0..=190.0).contains(&r.estimated_width_deg),
+            "estimated width {}° (paper ~150°), per-heading {:?}",
+            r.estimated_width_deg,
+            r.per_heading_kbps
+        );
+        // Savings up to ~58 %.
+        assert!(r.max_saving > 0.4, "saving {}", r.max_saving);
+    }
+
+    #[test]
+    fn direct_platform_measures_full_circle() {
+        let r = run(PlatformId::VrChat, ViewportConfig::quick());
+        // Without viewport adaptation every heading carries data.
+        assert_eq!(r.visible_headings, 16, "per-heading {:?}", r.per_heading_kbps);
+        assert_eq!(r.estimated_width_deg, 360.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! End-to-end latency aggregation and the Table 4 breakdown.
+//!
+//! §7 decomposes E2E latency into sender processing, network transit,
+//! server processing, and receiver processing, by correlating the
+//! recorded screens with packet timestamps from the AP traces. Here the
+//! session gives us the same three instrumentation points (sent,
+//! arrived, displayed); the network share is estimated from the known
+//! path RTTs exactly as the paper subtracted ping-measured RTTs.
+
+use crate::stats::Summary;
+use svr_geo::Site;
+use svr_platform::session::ActionLatency;
+use svr_platform::PlatformConfig;
+
+/// Aggregated latency breakdown over many measured actions, all in ms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyBreakdown {
+    /// End-to-end.
+    pub e2e: Summary,
+    /// Sender-side processing.
+    pub sender: Summary,
+    /// Receiver-side processing.
+    pub receiver: Summary,
+    /// Server processing (transit minus estimated network path time).
+    pub server: Summary,
+    /// Estimated one-way network share used for the server split, ms.
+    pub network_est_ms: f64,
+}
+
+/// Estimated network time between the two headsets via the data server:
+/// WiFi hops on both sides plus AP↔server RTT (up half + down half).
+pub fn network_path_estimate_ms(cfg: &PlatformConfig, vantage: Site) -> f64 {
+    let server_rtt = cfg.data_pool.rtt_from(vantage).as_millis_f64();
+    // Two WiFi air hops (~2 ms each) and two campus hops (~0.3 ms each).
+    server_rtt + 2.0 * 2.0 + 2.0 * 0.3
+}
+
+/// Break down a set of measured actions.
+///
+/// Actions whose transit time is wildly above the median are excluded:
+/// these are TCP-retransmitted deliveries (a lost segment waits a full
+/// RTO), which the paper's screen-recording method never counts — a
+/// finger movement superseded by later frames is simply re-measured.
+pub fn breakdown(actions: &[ActionLatency], cfg: &PlatformConfig, vantage: Site) -> LatencyBreakdown {
+    let net = network_path_estimate_ms(cfg, vantage);
+    let mut transits: Vec<f64> = actions.iter().map(|a| a.transit().as_millis_f64()).collect();
+    transits.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = transits.get(transits.len() / 2).copied().unwrap_or(0.0);
+    let keep: Vec<&ActionLatency> = actions
+        .iter()
+        .filter(|a| transits.is_empty() || a.transit().as_millis_f64() <= median * 2.0 + 5.0)
+        .collect();
+    let e2e: Vec<f64> = keep.iter().map(|a| a.e2e().as_millis_f64()).collect();
+    let sender: Vec<f64> = keep.iter().map(|a| a.sender().as_millis_f64()).collect();
+    let receiver: Vec<f64> = keep.iter().map(|a| a.receiver().as_millis_f64()).collect();
+    let server: Vec<f64> = keep
+        .iter()
+        .map(|a| (a.transit().as_millis_f64() - net).max(0.0))
+        .collect();
+    LatencyBreakdown {
+        e2e: Summary::of(&e2e),
+        sender: Summary::of(&sender),
+        receiver: Summary::of(&receiver),
+        server: Summary::of(&server),
+        network_est_ms: net,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svr_netsim::SimTime;
+
+    fn action(performed: u64, sent: u64, arrived: u64, displayed: u64) -> ActionLatency {
+        ActionLatency {
+            action_id: 0,
+            from: 0,
+            to: 1,
+            performed_at: SimTime::from_millis(performed),
+            sent_at: SimTime::from_millis(sent),
+            arrived_at: SimTime::from_millis(arrived),
+            displayed_at: SimTime::from_millis(displayed),
+        }
+    }
+
+    #[test]
+    fn breakdown_parts_sum_to_e2e() {
+        let a = action(0, 26, 66, 105);
+        assert_eq!(a.sender().as_millis(), 26);
+        assert_eq!(a.transit().as_millis(), 40);
+        assert_eq!(a.receiver().as_millis(), 39);
+        assert_eq!(a.e2e().as_millis(), 105);
+        assert_eq!(
+            a.sender().as_millis() + a.transit().as_millis() + a.receiver().as_millis(),
+            a.e2e().as_millis()
+        );
+    }
+
+    #[test]
+    fn network_estimate_tracks_server_distance() {
+        let near = network_path_estimate_ms(&PlatformConfig::worlds(), Site::FairfaxVa);
+        let far = network_path_estimate_ms(&PlatformConfig::hubs(), Site::FairfaxVa);
+        assert!(near < 12.0, "Worlds path {near} ms");
+        assert!(far > 70.0, "Hubs path {far} ms");
+    }
+
+    #[test]
+    fn aggregate_breakdown_statistics() {
+        let cfg = PlatformConfig::recroom();
+        let actions: Vec<ActionLatency> =
+            (0..20).map(|k| action(k * 1000, k * 1000 + 25, k * 1000 + 60, k * 1000 + 100)).collect();
+        let b = breakdown(&actions, &cfg, Site::FairfaxVa);
+        assert_eq!(b.e2e.n, 20);
+        assert!((b.e2e.mean - 100.0).abs() < 1e-9);
+        assert!((b.sender.mean - 25.0).abs() < 1e-9);
+        assert!((b.receiver.mean - 40.0).abs() < 1e-9);
+        // Server = transit (35) − network estimate, floored at 0.
+        assert!(b.server.mean >= 0.0 && b.server.mean <= 35.0);
+    }
+
+    #[test]
+    fn empty_actions_summarise_to_zero() {
+        let b = breakdown(&[], &PlatformConfig::vrchat(), Site::FairfaxVa);
+        assert_eq!(b.e2e.n, 0);
+        assert_eq!(b.e2e.mean, 0.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Multi-trial statistics.
+//!
+//! §3.2: "Unless otherwise mentioned, we report the averaged measurement
+//! results from more than 20 experiments", with standard deviations in
+//! the tables and 95 % confidence-interval bands in the figures.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics over independent trials.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator).
+    pub std: f64,
+    /// Half-width of the 95 % confidence interval of the mean.
+    pub ci95: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarise a sample set. Empty input yields all-zero summary.
+    pub fn of(samples: &[f64]) -> Summary {
+        let n = samples.len();
+        if n == 0 {
+            return Summary { mean: 0.0, std: 0.0, ci95: 0.0, n: 0 };
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        if n == 1 {
+            return Summary { mean, std: 0.0, ci95: 0.0, n };
+        }
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        let std = var.sqrt();
+        // Normal-approximation CI; the paper's n ≥ 20 makes this sound.
+        let ci95 = 1.96 * std / (n as f64).sqrt();
+        Summary { mean, std, ci95, n }
+    }
+
+    /// Lower edge of the 95 % CI band.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.ci95
+    }
+
+    /// Upper edge of the 95 % CI band.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.ci95
+    }
+
+    /// Format as the paper's "mean/std" cell (e.g. "41.3/2.1").
+    pub fn cell(&self) -> String {
+        format!("{:.1}/{:.1}", self.mean, self.std)
+    }
+}
+
+/// Relative error of `measured` against a `reference` value.
+pub fn relative_error(measured: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        return if measured == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    (measured - reference).abs() / reference.abs()
+}
+
+/// Pearson correlation coefficient between two equal-length series
+/// (used by the Fig. 3 uplink/downlink matching analysis).
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "series lengths differ");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n as f64;
+    let mb = b.iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for i in 0..n {
+        let da = a[i] - ma;
+        let db = b[i] - mb;
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Least-squares slope of `y` against `x` (used to test the "almost
+/// linear" throughput growth claims of §6).
+pub fn linear_fit(x: &[f64], y: &[f64]) -> (f64, f64, f64) {
+    assert_eq!(x.len(), y.len());
+    let n = x.len() as f64;
+    assert!(n >= 2.0, "need at least two points");
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    for i in 0..x.len() {
+        sxy += (x[i] - mx) * (y[i] - my);
+        sxx += (x[i] - mx) * (x[i] - mx);
+    }
+    let slope = if sxx == 0.0 { 0.0 } else { sxy / sxx };
+    let intercept = my - slope * mx;
+    // R².
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    for i in 0..x.len() {
+        let pred = intercept + slope * x[i];
+        ss_res += (y[i] - pred).powi(2);
+        ss_tot += (y[i] - my).powi(2);
+    }
+    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    (slope, intercept, r2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[2.0, 4.0, 6.0]);
+        assert_eq!(s.mean, 4.0);
+        assert!((s.std - 2.0).abs() < 1e-12);
+        assert_eq!(s.n, 3);
+        assert!(s.lo() < 4.0 && s.hi() > 4.0);
+        assert_eq!(s.cell(), "4.0/2.0");
+    }
+
+    #[test]
+    fn summary_edge_cases() {
+        assert_eq!(Summary::of(&[]).n, 0);
+        let one = Summary::of(&[7.5]);
+        assert_eq!(one.mean, 7.5);
+        assert_eq!(one.std, 0.0);
+        assert_eq!(one.ci95, 0.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let few: Vec<f64> = (0..5).map(|i| (i % 2) as f64).collect();
+        let many: Vec<f64> = (0..500).map(|i| (i % 2) as f64).collect();
+        assert!(Summary::of(&many).ci95 < Summary::of(&few).ci95);
+    }
+
+    #[test]
+    fn pearson_known_values() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &up) - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &down) + 1.0).abs() < 1e-12);
+        let flat = [5.0, 5.0, 5.0, 5.0];
+        assert_eq!(pearson(&x, &flat), 0.0);
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let x: Vec<f64> = (1..=15).map(|v| v as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 1.0).collect();
+        let (slope, intercept, r2) = linear_fit(&x, &y);
+        assert!((slope - 3.0).abs() < 1e-9);
+        assert!((intercept - 1.0).abs() < 1e-9);
+        assert!((r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_handles_zero() {
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert_eq!(relative_error(1.0, 0.0), f64::INFINITY);
+        assert!((relative_error(11.0, 10.0) - 0.1).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mean_within_min_max(samples in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            let s = Summary::of(&samples);
+            let min = samples.iter().cloned().fold(f64::MAX, f64::min);
+            let max = samples.iter().cloned().fold(f64::MIN, f64::max);
+            prop_assert!(s.mean >= min - 1e-6 && s.mean <= max + 1e-6);
+            prop_assert!(s.std >= 0.0);
+        }
+
+        #[test]
+        fn prop_pearson_bounded(
+            pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..50)
+        ) {
+            let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let r = pearson(&a, &b);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        }
+    }
+}

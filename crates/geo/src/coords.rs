@@ -1,0 +1,139 @@
+//! Geographic coordinates and the distance-to-RTT model.
+//!
+//! RTT between two points is modelled as light in fibre (~200 000 km/s)
+//! over the great-circle distance, inflated by a path-stretch factor
+//! (fibre does not follow geodesics), plus a fixed access/processing
+//! overhead. The calibration targets the paper's Table 2 and §4.2
+//! numbers: ~2-3 ms to a nearby (same-metro) server, ~72 ms east-coast US
+//! to west-coast US, ~140-150 ms Europe to the US west coast.
+
+use serde::{Deserialize, Serialize};
+use svr_netsim::SimDuration;
+
+/// A point on the globe.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in degrees (+N).
+    pub lat: f64,
+    /// Longitude in degrees (+E).
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Construct from degrees.
+    pub const fn new(lat: f64, lon: f64) -> Self {
+        GeoPoint { lat, lon }
+    }
+}
+
+/// Mean Earth radius in km.
+const EARTH_RADIUS_KM: f64 = 6_371.0;
+/// Signal speed in fibre, km/s (≈ 2/3 c).
+const FIBRE_KM_PER_S: f64 = 200_000.0;
+/// Path-stretch factor: real fibre routes are longer than geodesics.
+const PATH_INFLATION: f64 = 1.8;
+/// Fixed overhead per RTT: access network, serialization, server stack.
+const BASE_RTT_MS: f64 = 1.9;
+
+/// Great-circle distance in km (haversine).
+pub fn distance_km(a: GeoPoint, b: GeoPoint) -> f64 {
+    let (lat1, lon1) = (a.lat.to_radians(), a.lon.to_radians());
+    let (lat2, lon2) = (b.lat.to_radians(), b.lon.to_radians());
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().asin()
+}
+
+/// Modelled round-trip time between two points.
+pub fn rtt_between(a: GeoPoint, b: GeoPoint) -> SimDuration {
+    let d = distance_km(a, b);
+    let ms = BASE_RTT_MS + 2.0 * d * PATH_INFLATION / FIBRE_KM_PER_S * 1_000.0;
+    SimDuration::from_millis_f64(ms)
+}
+
+/// One-way propagation delay between two points (half the RTT).
+pub fn one_way_between(a: GeoPoint, b: GeoPoint) -> SimDuration {
+    rtt_between(a, b) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sites::Site;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distance_known_pairs() {
+        // Washington DC ↔ Los Angeles ≈ 3700 km.
+        let dc = GeoPoint::new(38.9, -77.0);
+        let la = GeoPoint::new(34.05, -118.24);
+        let d = distance_km(dc, la);
+        assert!((d - 3_700.0).abs() < 100.0, "DC-LA {d} km");
+        // London ↔ New York ≈ 5570 km.
+        let lon = GeoPoint::new(51.5, -0.13);
+        let nyc = GeoPoint::new(40.7, -74.0);
+        let d2 = distance_km(lon, nyc);
+        assert!((d2 - 5_570.0).abs() < 100.0, "LON-NYC {d2} km");
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = GeoPoint::new(38.9, -77.0);
+        let b = GeoPoint::new(34.05, -118.24);
+        assert!((distance_km(a, b) - distance_km(b, a)).abs() < 1e-9);
+        assert!(distance_km(a, a) < 1e-9);
+    }
+
+    #[test]
+    fn rtt_calibration_east_to_west_us() {
+        // Paper: AltspaceVR/Hubs data servers on the west coast measured
+        // ~72-74 ms from the east coast.
+        let east = Site::FairfaxVa.point();
+        let west = Site::LosAngeles.point();
+        let rtt = rtt_between(east, west).as_millis_f64();
+        assert!((60.0..85.0).contains(&rtt), "east-west US RTT {rtt} ms");
+    }
+
+    #[test]
+    fn rtt_calibration_europe_to_west_us() {
+        // Paper §4.2: ~140-150 ms from the UK to US-west servers.
+        let uk = Site::London.point();
+        let west = Site::LosAngeles.point();
+        let rtt = rtt_between(uk, west).as_millis_f64();
+        assert!((125.0..165.0).contains(&rtt), "UK-west US RTT {rtt} ms");
+    }
+
+    #[test]
+    fn rtt_nearby_server_is_a_few_ms() {
+        // Paper: nearby east-coast servers at 2-3 ms.
+        let gmu = Site::FairfaxVa.point();
+        let ashburn = Site::AshburnVa.point();
+        let rtt = rtt_between(gmu, ashburn).as_millis_f64();
+        assert!((1.5..4.0).contains(&rtt), "metro RTT {rtt} ms");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_distance_nonnegative_and_bounded(
+            lat1 in -90.0f64..90.0, lon1 in -180.0f64..180.0,
+            lat2 in -90.0f64..90.0, lon2 in -180.0f64..180.0,
+        ) {
+            let d = distance_km(GeoPoint::new(lat1, lon1), GeoPoint::new(lat2, lon2));
+            prop_assert!(d >= 0.0);
+            // No two points are farther apart than half the circumference.
+            prop_assert!(d <= std::f64::consts::PI * 6_371.0 + 1.0);
+        }
+
+        #[test]
+        fn prop_rtt_monotone_with_identity(
+            lat in -80.0f64..80.0, lon in -170.0f64..170.0,
+        ) {
+            let a = GeoPoint::new(lat, lon);
+            let near = GeoPoint::new(lat + 0.5, lon);
+            let far = GeoPoint::new(lat + 8.0, lon);
+            prop_assert!(rtt_between(a, near) <= rtt_between(a, far));
+            prop_assert!(rtt_between(a, a).as_millis_f64() >= 1.0);
+        }
+    }
+}

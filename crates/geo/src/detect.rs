@@ -1,0 +1,128 @@
+//! The paper's anycast-detection algorithm (§4.2).
+//!
+//! > "We use traceroute to the identified platform servers from three
+//! > locations ... Since our machines are located in different places, if
+//! > the RTT between them and the platform server is comparable and/or
+//! > there is a significant difference in the IP addresses of the hops
+//! > right before reaching the platform server, it implies that this
+//! > server relies on anycast."
+//!
+//! [`detect_anycast`] implements exactly that decision rule over
+//! [`mod@crate::traceroute`] results, without peeking at the pool's ground
+//! truth.
+
+use crate::pools::ServerPool;
+use crate::sites::Site;
+use crate::traceroute::{traceroute, TraceResult};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of the detection algorithm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnycastVerdict {
+    /// The algorithm's answer.
+    pub is_anycast: bool,
+    /// RTTs observed from each vantage, in ms.
+    pub rtts_ms: Vec<f64>,
+    /// Whether the RTTs were "comparable" (spread below threshold).
+    pub rtts_comparable: bool,
+    /// Whether penultimate-hop addresses diverged across vantages.
+    pub paths_diverge: bool,
+}
+
+/// RTT spread (max − min) below which RTTs from distant vantages count as
+/// "comparable". Unicast servers show spreads of ≥60 ms between a nearby
+/// and a trans-continental vantage; anycast keeps every vantage within a
+/// few ms of its local PoP.
+pub const COMPARABLE_SPREAD_MS: f64 = 20.0;
+
+/// Run the detection from the standard three vantage points.
+pub fn detect_anycast(pool: &ServerPool) -> AnycastVerdict {
+    detect_anycast_from(pool, &[Site::FairfaxVa, Site::LosAngeles, Site::Manama])
+}
+
+/// Run the detection from arbitrary vantages (needs ≥ 2).
+pub fn detect_anycast_from(pool: &ServerPool, vantages: &[Site]) -> AnycastVerdict {
+    assert!(vantages.len() >= 2, "need at least two vantage points");
+    let traces: Vec<TraceResult> = vantages.iter().map(|v| traceroute(*v, pool)).collect();
+
+    let rtts_ms: Vec<f64> = traces.iter().map(|t| t.final_rtt().as_millis_f64()).collect();
+    let max = rtts_ms.iter().cloned().fold(f64::MIN, f64::max);
+    let min = rtts_ms.iter().cloned().fold(f64::MAX, f64::min);
+    let rtts_comparable = (max - min) < COMPARABLE_SPREAD_MS;
+
+    let penultimates: Vec<_> = traces
+        .iter()
+        .filter_map(|t| t.penultimate_hop().map(|h| h.ip))
+        .collect();
+    let paths_diverge =
+        penultimates.windows(2).any(|w| w[0] != w[1]) && penultimates.len() == traces.len();
+
+    AnycastVerdict {
+        is_anycast: rtts_comparable || paths_diverge,
+        rtts_ms,
+        rtts_comparable,
+        paths_diverge,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::whois::Owner;
+
+    #[test]
+    fn anycast_pool_detected() {
+        let pool = ServerPool::anycast(Owner::Cloudflare, "rr-data", Site::anycast_global());
+        let v = detect_anycast(&pool);
+        assert!(v.is_anycast);
+        assert!(v.paths_diverge, "different PoPs should show different edges");
+        // All vantages see a nearby PoP... except the Middle East, whose
+        // nearest PoP is continental; comparability still holds if spreads
+        // stay under the threshold, but path divergence alone suffices.
+        assert_eq!(v.rtts_ms.len(), 3);
+    }
+
+    #[test]
+    fn unicast_pool_not_detected() {
+        let pool = ServerPool::unicast(Owner::Aws, "hubs-webrtc", Site::SanJose);
+        let v = detect_anycast(&pool);
+        assert!(!v.is_anycast);
+        assert!(!v.rtts_comparable, "east vs west vs ME spreads are large");
+        assert!(!v.paths_diverge, "same edge router from everywhere");
+    }
+
+    #[test]
+    fn unicast_near_one_vantage_still_not_anycast() {
+        // An Ashburn unicast server is 2 ms from Fairfax but ~150 ms from
+        // Manama: the spread gives it away.
+        let pool = ServerPool::unicast(Owner::Meta, "worlds-data", Site::AshburnVa);
+        let v = detect_anycast(&pool);
+        assert!(!v.is_anycast);
+        let spread = v.rtts_ms.iter().cloned().fold(f64::MIN, f64::max)
+            - v.rtts_ms.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 60.0, "spread {spread}");
+    }
+
+    #[test]
+    fn two_vantage_detection_also_works() {
+        let pool = ServerPool::anycast(Owner::Ans, "rr-ctl", Site::anycast_global());
+        let v = detect_anycast_from(&pool, &[Site::FairfaxVa, Site::London]);
+        assert!(v.is_anycast);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_vantage_rejected() {
+        let pool = ServerPool::anycast(Owner::Ans, "x", Site::anycast_global());
+        let _ = detect_anycast_from(&pool, &[Site::FairfaxVa]);
+    }
+
+    #[test]
+    fn verdict_reports_rtts_per_vantage() {
+        let pool = ServerPool::anycast(Owner::Cloudflare, "vrc", Site::anycast_global());
+        let v = detect_anycast_from(&pool, &[Site::FairfaxVa, Site::LosAngeles]);
+        // Each vantage is near its serving PoP: both RTTs tiny.
+        assert!(v.rtts_ms.iter().all(|r| *r < 6.0), "{:?}", v.rtts_ms);
+        assert!(v.rtts_comparable);
+    }
+}

@@ -1,0 +1,105 @@
+//! DNS-style name resolution for the platform services.
+//!
+//! §4.2 distinguishes anycast from "abusing DNS" (geo-DNS returning
+//! different A records per resolver): an anycast service hands every
+//! client the *same* address, while a DNS-balanced one hands out
+//! different per-region addresses. This module resolves the synthetic
+//! hostnames of [`crate::pools::ServerPool`]s both ways, so experiments
+//! can show the two mechanisms are distinguishable from the client side.
+
+use crate::pools::{Addressing, ServerPool};
+use crate::sites::Site;
+use crate::whois::{anycast_ip, server_ip};
+use std::net::Ipv4Addr;
+
+/// A resolved record set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resolution {
+    /// Query name.
+    pub name: String,
+    /// A records returned to this resolver.
+    pub addresses: Vec<Ipv4Addr>,
+    /// Record TTL in seconds (anycast services use long TTLs; geo-DNS
+    /// keeps them short to steer traffic).
+    pub ttl_s: u32,
+}
+
+/// Resolve a pool's service name from a resolver located at `vantage`.
+///
+/// * Anycast pools return the single global address with a long TTL.
+/// * Unicast pools return the per-instance addresses of their one site,
+///   shuffled ordering left to clients, with a short TTL (the DNS
+///   load-balancing the paper's platforms use for their control planes).
+pub fn resolve(pool: &ServerPool, vantage: Site) -> Resolution {
+    match &pool.addressing {
+        Addressing::Anycast(_) => Resolution {
+            name: format!("{}.anycast", pool.service),
+            addresses: vec![anycast_ip(pool.owner, 0)],
+            ttl_s: 3_600,
+        },
+        Addressing::Unicast(site) => {
+            let addresses = (0..pool.instances_per_site)
+                .map(|i| server_ip(pool.owner, *site, i))
+                .collect();
+            let _ = vantage; // unicast answers are resolver-independent
+            Resolution { name: format!("{}.geo", pool.service), addresses, ttl_s: 60 }
+        }
+    }
+}
+
+/// The client-side discriminator: query from several vantages and check
+/// whether the answers differ. Anycast answers never differ; the *paths*
+/// differ instead (see [`crate::detect`]).
+pub fn answers_differ_across_vantages(pool: &ServerPool, vantages: &[Site]) -> bool {
+    let mut first: Option<Vec<Ipv4Addr>> = None;
+    for v in vantages {
+        let r = resolve(pool, *v);
+        match &first {
+            None => first = Some(r.addresses),
+            Some(f) => {
+                if *f != r.addresses {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::whois::Owner;
+
+    #[test]
+    fn anycast_resolves_to_one_global_address() {
+        let pool = ServerPool::anycast(Owner::Cloudflare, "rr-data", Site::anycast_global());
+        let east = resolve(&pool, Site::FairfaxVa);
+        let europe = resolve(&pool, Site::London);
+        assert_eq!(east.addresses, europe.addresses);
+        assert_eq!(east.addresses.len(), 1);
+        assert!(east.ttl_s >= 3_600, "anycast records are stable");
+    }
+
+    #[test]
+    fn unicast_resolves_to_load_balanced_instances() {
+        let pool = ServerPool::unicast(Owner::Aws, "vrchat-ctl", Site::AshburnVa);
+        let r = resolve(&pool, Site::FairfaxVa);
+        assert_eq!(r.addresses.len(), pool.instances_per_site as usize);
+        let unique: std::collections::HashSet<_> = r.addresses.iter().collect();
+        assert_eq!(unique.len(), r.addresses.len(), "distinct instances");
+        assert!(r.ttl_s <= 300, "short TTL for DNS balancing");
+    }
+
+    #[test]
+    fn neither_mechanism_varies_answers_by_vantage() {
+        // The paper's point: anycast is not geo-DNS. Our unicast pools are
+        // single-region too, so neither varies — path divergence (detect
+        // module) is the only anycast fingerprint.
+        let vantages = [Site::FairfaxVa, Site::LosAngeles, Site::London];
+        let any = ServerPool::anycast(Owner::Cloudflare, "x", Site::anycast_global());
+        let uni = ServerPool::unicast(Owner::Meta, "y", Site::AshburnVa);
+        assert!(!answers_differ_across_vantages(&any, &vantages));
+        assert!(!answers_differ_across_vantages(&uni, &vantages));
+    }
+}

@@ -1,0 +1,203 @@
+//! Per-platform server pools and user→server assignment.
+//!
+//! Table 2's infrastructure findings come from which pool a platform uses
+//! for each channel: a unicast pool pins every user to one datacenter
+//! (AltspaceVR/Hubs data channels on the US west coast), while an anycast
+//! pool serves each user from the nearest PoP (Rec Room, VRChat data;
+//! AltspaceVR control). Pools also model the load-balancing the paper
+//! observed: most platforms assign two co-located users to *different*
+//! server instances; only AltspaceVR and Hubs' RTP pin both users to the
+//! same machine.
+
+use crate::coords::rtt_between;
+use crate::sites::Site;
+use crate::whois::{anycast_ip, server_hostname, server_ip, Owner};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+use svr_netsim::SimDuration;
+
+/// How a pool is addressed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Addressing {
+    /// One fixed datacenter; all users connect there.
+    Unicast(Site),
+    /// The same IP announced from many PoPs; routing picks the nearest.
+    Anycast(Vec<Site>),
+}
+
+/// A pool of interchangeable server instances for one (platform, channel).
+#[derive(Debug, Clone)]
+pub struct ServerPool {
+    /// Operator of the machines (WHOIS answer).
+    pub owner: Owner,
+    /// Service label used in hostnames.
+    pub service: &'static str,
+    /// Addressing scheme.
+    pub addressing: Addressing,
+    /// Load-balanced instances per site.
+    pub instances_per_site: u8,
+    /// If true, every user gets the same instance (AltspaceVR; Hubs RTP).
+    /// Otherwise users are spread across instances.
+    pub sticky: bool,
+}
+
+/// The server a user was assigned.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// Site actually serving the user.
+    pub site: Site,
+    /// Instance index within the site.
+    pub instance: u8,
+    /// Address the client connects to.
+    pub ip: Ipv4Addr,
+    /// Synthetic hostname.
+    pub hostname: String,
+    /// Whether the address is anycast.
+    pub anycast: bool,
+}
+
+impl ServerPool {
+    /// A unicast pool.
+    pub fn unicast(owner: Owner, service: &'static str, site: Site) -> Self {
+        ServerPool {
+            owner,
+            service,
+            addressing: Addressing::Unicast(site),
+            instances_per_site: 4,
+            sticky: false,
+        }
+    }
+
+    /// An anycast pool over the given PoPs.
+    pub fn anycast(owner: Owner, service: &'static str, pops: Vec<Site>) -> Self {
+        assert!(!pops.is_empty(), "anycast pool needs PoPs");
+        ServerPool {
+            owner,
+            service,
+            addressing: Addressing::Anycast(pops),
+            instances_per_site: 4,
+            sticky: false,
+        }
+    }
+
+    /// Make the pool assign the same instance to every user.
+    pub fn with_sticky(mut self) -> Self {
+        self.sticky = true;
+        self
+    }
+
+    /// The site that would serve a user at `vantage`: the unicast site,
+    /// or the nearest anycast PoP by modelled RTT.
+    pub fn serving_site(&self, vantage: Site) -> Site {
+        match &self.addressing {
+            Addressing::Unicast(site) => *site,
+            Addressing::Anycast(pops) => *pops
+                .iter()
+                .min_by(|a, b| {
+                    rtt_between(vantage.point(), a.point())
+                        .cmp(&rtt_between(vantage.point(), b.point()))
+                })
+                .expect("non-empty"),
+        }
+    }
+
+    /// Whether the pool uses anycast addressing.
+    pub fn is_anycast(&self) -> bool {
+        matches!(self.addressing, Addressing::Anycast(_))
+    }
+
+    /// Assign a server to user number `user_idx` located at `vantage`.
+    pub fn assign(&self, vantage: Site, user_idx: u32) -> Assignment {
+        let site = self.serving_site(vantage);
+        let instance = if self.sticky {
+            0
+        } else {
+            (user_idx % self.instances_per_site.max(1) as u32) as u8
+        };
+        let (ip, anycast) = match &self.addressing {
+            Addressing::Unicast(_) => (server_ip(self.owner, site, instance), false),
+            Addressing::Anycast(_) => (anycast_ip(self.owner, instance), true),
+        };
+        Assignment {
+            site,
+            instance,
+            ip,
+            hostname: server_hostname(self.owner, self.service, site, instance),
+            anycast,
+        }
+    }
+
+    /// Modelled RTT from a vantage to this pool (to the serving site).
+    pub fn rtt_from(&self, vantage: Site) -> SimDuration {
+        rtt_between(vantage.point(), self.serving_site(vantage).point())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unicast_always_serves_from_fixed_site() {
+        let pool = ServerPool::unicast(Owner::Aws, "hubs-webrtc", Site::SanJose);
+        for v in [Site::FairfaxVa, Site::LosAngeles, Site::London] {
+            assert_eq!(pool.serving_site(v), Site::SanJose);
+        }
+        // Europe pays ~140 ms to a west-coast unicast server (§4.2).
+        let rtt = pool.rtt_from(Site::London).as_millis_f64();
+        assert!(rtt > 120.0, "rtt {rtt}");
+    }
+
+    #[test]
+    fn anycast_serves_from_nearest_pop() {
+        let pool = ServerPool::anycast(Owner::Cloudflare, "recroom-data", Site::anycast_global());
+        assert_eq!(pool.serving_site(Site::FairfaxVa), Site::AshburnVa);
+        assert_eq!(pool.serving_site(Site::LosAngeles), Site::LosAngeles);
+        assert_eq!(pool.serving_site(Site::London), Site::London);
+        // Every vantage sees a nearby server (<6 ms), the paper's anycast
+        // signature.
+        for v in [Site::FairfaxVa, Site::LosAngeles, Site::London] {
+            assert!(pool.rtt_from(v).as_millis_f64() < 6.0);
+        }
+    }
+
+    #[test]
+    fn anycast_ip_is_the_same_everywhere() {
+        let pool = ServerPool::anycast(Owner::Cloudflare, "vrchat-data", Site::anycast_global());
+        let a = pool.assign(Site::FairfaxVa, 0);
+        let b = pool.assign(Site::London, 0);
+        assert_eq!(a.ip, b.ip, "one IP, many PoPs");
+        assert_ne!(a.site, b.site);
+        assert!(a.anycast);
+    }
+
+    #[test]
+    fn load_balancing_spreads_colocated_users() {
+        // "Most platforms allocate our two test users ... to two different
+        // servers" (§4.2).
+        let pool = ServerPool::unicast(Owner::Meta, "oculus-verts", Site::AshburnVa);
+        let u1 = pool.assign(Site::FairfaxVa, 0);
+        let u2 = pool.assign(Site::FairfaxVa, 1);
+        assert_ne!(u1.instance, u2.instance);
+        assert_ne!(u1.ip, u2.ip);
+    }
+
+    #[test]
+    fn sticky_pool_pins_all_users_to_one_instance() {
+        // "Only AltspaceVR and Hubs (for RTP/RTCP) consistently assign the
+        // same server to both users."
+        let pool =
+            ServerPool::unicast(Owner::Microsoft, "altspace-data", Site::SanJose).with_sticky();
+        let u1 = pool.assign(Site::FairfaxVa, 0);
+        let u2 = pool.assign(Site::FairfaxVa, 1);
+        assert_eq!(u1.ip, u2.ip);
+        assert_eq!(u1.instance, u2.instance);
+    }
+
+    #[test]
+    fn hostnames_encode_site_and_service() {
+        let pool = ServerPool::unicast(Owner::Meta, "oculus-verts", Site::AshburnVa);
+        let a = pool.assign(Site::FairfaxVa, 1);
+        assert!(a.hostname.starts_with("oculus-verts-shv-01-iad"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Named locations: measurement vantage points and datacenter sites.
+//!
+//! The paper measures from three vantage points — the US east coast
+//! (a university campus in northern Virginia), Los Angeles, and the
+//! United Kingdom — plus a Middle East traceroute source, against
+//! platform servers in eastern/western US datacenters and anycast PoPs
+//! worldwide.
+
+use crate::coords::GeoPoint;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Coarse world region, used in reports ("Western U.S.", "Eastern U.S.").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// Eastern United States.
+    EasternUs,
+    /// Western United States.
+    WesternUs,
+    /// Europe.
+    Europe,
+    /// Middle East.
+    MiddleEast,
+    /// Asia-Pacific.
+    AsiaPacific,
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Region::EasternUs => write!(f, "Eastern U.S."),
+            Region::WesternUs => write!(f, "Western U.S."),
+            Region::Europe => write!(f, "Europe"),
+            Region::MiddleEast => write!(f, "Middle East"),
+            Region::AsiaPacific => write!(f, "Asia-Pacific"),
+        }
+    }
+}
+
+/// A specific site (vantage point or datacenter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Site {
+    // --- vantage points ---
+    /// The paper's primary testbed: a campus on the US east coast.
+    FairfaxVa,
+    /// Western-US vantage (§4.2 extra experiments).
+    LosAngeles,
+    /// European vantage (§4.2 extra experiments).
+    London,
+    /// Middle East traceroute source.
+    Manama,
+    // --- datacenter sites ---
+    /// Northern Virginia datacenter alley ("iad" in Worlds' hostnames).
+    AshburnVa,
+    /// Silicon Valley datacenters.
+    SanJose,
+    /// Pacific Northwest (Microsoft Azure West).
+    Quincy,
+    /// Oregon (AWS us-west-2).
+    Portland,
+    /// European datacenter (AWS eu-west / LDN PoPs).
+    Dublin,
+    /// Frankfurt PoP.
+    Frankfurt,
+    /// Singapore PoP.
+    Singapore,
+    /// Tokyo PoP.
+    Tokyo,
+}
+
+/// Identifier alias used by pool assignment tables.
+pub type SiteId = Site;
+
+impl Site {
+    /// Geographic position.
+    pub fn point(self) -> GeoPoint {
+        match self {
+            Site::FairfaxVa => GeoPoint::new(38.83, -77.31),
+            Site::LosAngeles => GeoPoint::new(34.05, -118.24),
+            Site::London => GeoPoint::new(51.51, -0.13),
+            Site::Manama => GeoPoint::new(26.23, 50.59),
+            Site::AshburnVa => GeoPoint::new(39.04, -77.49),
+            Site::SanJose => GeoPoint::new(37.34, -121.89),
+            Site::Quincy => GeoPoint::new(47.23, -119.85),
+            Site::Portland => GeoPoint::new(45.52, -122.68),
+            Site::Dublin => GeoPoint::new(53.35, -6.26),
+            Site::Frankfurt => GeoPoint::new(50.11, 8.68),
+            Site::Singapore => GeoPoint::new(1.35, 103.82),
+            Site::Tokyo => GeoPoint::new(35.68, 139.69),
+        }
+    }
+
+    /// The coarse region a site belongs to.
+    pub fn region(self) -> Region {
+        match self {
+            Site::FairfaxVa | Site::AshburnVa => Region::EasternUs,
+            Site::LosAngeles | Site::SanJose | Site::Quincy | Site::Portland => Region::WesternUs,
+            Site::London | Site::Dublin | Site::Frankfurt => Region::Europe,
+            Site::Manama => Region::MiddleEast,
+            Site::Singapore | Site::Tokyo => Region::AsiaPacific,
+        }
+    }
+
+    /// Short code used in synthetic hostnames and IPs ("iad", "sjc", ...).
+    pub fn code(self) -> &'static str {
+        match self {
+            Site::FairfaxVa => "ffx",
+            Site::LosAngeles => "lax",
+            Site::London => "lhr",
+            Site::Manama => "bah",
+            Site::AshburnVa => "iad",
+            Site::SanJose => "sjc",
+            Site::Quincy => "mwh",
+            Site::Portland => "pdx",
+            Site::Dublin => "dub",
+            Site::Frankfurt => "fra",
+            Site::Singapore => "sin",
+            Site::Tokyo => "nrt",
+        }
+    }
+
+    /// All datacenter sites (candidate anycast PoPs).
+    pub fn datacenters() -> &'static [Site] {
+        &[
+            Site::AshburnVa,
+            Site::SanJose,
+            Site::Quincy,
+            Site::Portland,
+            Site::Dublin,
+            Site::Frankfurt,
+            Site::Singapore,
+            Site::Tokyo,
+        ]
+    }
+
+    /// A global anycast footprint, as deployed by CDNs like Cloudflare:
+    /// PoPs in every major metro, including the study's vantage cities
+    /// (which is why anycast RTTs are a few ms from everywhere).
+    pub fn anycast_global() -> Vec<Site> {
+        vec![
+            Site::AshburnVa,
+            Site::SanJose,
+            Site::LosAngeles,
+            Site::Dublin,
+            Site::London,
+            Site::Frankfurt,
+            Site::Singapore,
+        ]
+    }
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coords::rtt_between;
+
+    #[test]
+    fn regions_are_consistent() {
+        assert_eq!(Site::FairfaxVa.region(), Region::EasternUs);
+        assert_eq!(Site::SanJose.region(), Region::WesternUs);
+        assert_eq!(Site::Dublin.region(), Region::Europe);
+        assert_eq!(Site::Manama.region(), Region::MiddleEast);
+        assert_eq!(Site::Tokyo.region(), Region::AsiaPacific);
+    }
+
+    #[test]
+    fn codes_are_unique() {
+        let all = [
+            Site::FairfaxVa,
+            Site::LosAngeles,
+            Site::London,
+            Site::Manama,
+            Site::AshburnVa,
+            Site::SanJose,
+            Site::Quincy,
+            Site::Portland,
+            Site::Dublin,
+            Site::Frankfurt,
+            Site::Singapore,
+            Site::Tokyo,
+        ];
+        let mut codes: Vec<&str> = all.iter().map(|s| s.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), all.len());
+    }
+
+    #[test]
+    fn east_coast_vantage_is_near_ashburn() {
+        // The paper's east-coast experiments see <3 ms to nearby servers.
+        let rtt = rtt_between(Site::FairfaxVa.point(), Site::AshburnVa.point());
+        assert!(rtt.as_millis_f64() < 4.0, "{rtt}");
+    }
+
+    #[test]
+    fn anycast_footprint_covers_regions() {
+        let pops = Site::anycast_global();
+        let regions: std::collections::HashSet<Region> =
+            pops.iter().map(|p| p.region()).collect();
+        assert!(regions.contains(&Region::EasternUs));
+        assert!(regions.contains(&Region::WesternUs));
+        assert!(regions.contains(&Region::Europe));
+    }
+
+    #[test]
+    fn display_uses_codes() {
+        assert_eq!(Site::AshburnVa.to_string(), "iad");
+        assert_eq!(Region::WesternUs.to_string(), "Western U.S.");
+    }
+}

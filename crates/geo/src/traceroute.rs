@@ -1,0 +1,182 @@
+//! Synthetic traceroute over the geographic model.
+//!
+//! §4.2 infers anycast by running `traceroute` from three locations and
+//! comparing per-hop addresses and RTTs. We synthesise forward paths with
+//! the structure of real traces: access router → metro aggregation →
+//! a distance-proportional number of backbone hops → the destination
+//! PoP's edge router → the server itself. The penultimate hop encodes the
+//! serving site, which is exactly the signal the detection algorithm
+//! keys on.
+
+use crate::coords::rtt_between;
+use crate::pools::ServerPool;
+use crate::sites::Site;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+use svr_netsim::SimDuration;
+
+/// One traceroute hop.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hop {
+    /// Responding address.
+    pub ip: Ipv4Addr,
+    /// Round-trip time to this hop.
+    pub rtt: SimDuration,
+    /// Diagnostic label ("metro-ffx", "backbone-2", ...).
+    pub label: String,
+}
+
+/// A full trace to a pool from one vantage.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceResult {
+    /// Where the trace was run from.
+    pub vantage: Site,
+    /// Hops in order; the last is the server.
+    pub hops: Vec<Hop>,
+    /// Site that actually served (ground truth, not visible to the
+    /// detection algorithm).
+    pub serving_site: Site,
+}
+
+impl TraceResult {
+    /// The hop right before the server — the paper's anycast fingerprint.
+    pub fn penultimate_hop(&self) -> Option<&Hop> {
+        if self.hops.len() >= 2 {
+            self.hops.get(self.hops.len() - 2)
+        } else {
+            None
+        }
+    }
+
+    /// End-to-end RTT (last hop).
+    pub fn final_rtt(&self) -> SimDuration {
+        self.hops.last().map(|h| h.rtt).unwrap_or(SimDuration::ZERO)
+    }
+}
+
+fn vantage_octet(v: Site) -> u8 {
+    match v {
+        Site::FairfaxVa => 1,
+        Site::LosAngeles => 2,
+        Site::London => 3,
+        Site::Manama => 4,
+        _ => 9,
+    }
+}
+
+/// Run a synthetic traceroute from `vantage` to `pool`.
+pub fn traceroute(vantage: Site, pool: &ServerPool) -> TraceResult {
+    let serving = pool.serving_site(vantage);
+    let total = rtt_between(vantage.point(), serving.point());
+    let total_ms = total.as_millis_f64();
+    let mut hops = Vec::new();
+
+    // Access router: ~0.8 ms, address from the campus/ISP block.
+    hops.push(Hop {
+        ip: Ipv4Addr::new(10, vantage_octet(vantage), 0, 1),
+        rtt: SimDuration::from_millis_f64(0.8_f64.min(total_ms * 0.2)),
+        label: format!("access-{}", vantage.code()),
+    });
+    // Metro aggregation: ~1.5 ms.
+    hops.push(Hop {
+        ip: Ipv4Addr::new(64, vantage_octet(vantage), 1, 1),
+        rtt: SimDuration::from_millis_f64(1.5_f64.min(total_ms * 0.4)),
+        label: format!("metro-{}", vantage.code()),
+    });
+    // Backbone hops: roughly one per 12 ms of path RTT.
+    let n_backbone = ((total_ms / 12.0) as usize).clamp(1, 8);
+    for k in 0..n_backbone {
+        let frac = 0.4 + 0.5 * (k as f64 + 1.0) / (n_backbone as f64 + 1.0);
+        hops.push(Hop {
+            ip: Ipv4Addr::new(
+                64,
+                100 + vantage_octet(vantage),
+                serving_octet(serving),
+                (k + 1) as u8,
+            ),
+            rtt: SimDuration::from_millis_f64(total_ms * frac),
+            label: format!("backbone-{k}"),
+        });
+    }
+    // PoP edge router: encodes the serving site — the anycast fingerprint.
+    hops.push(Hop {
+        ip: Ipv4Addr::new(pool.owner.prefix(), serving_octet(serving), 250, 1),
+        rtt: SimDuration::from_millis_f64(total_ms * 0.97),
+        label: format!("edge-{}", serving.code()),
+    });
+    // The server.
+    let assignment = pool.assign(vantage, 0);
+    hops.push(Hop { ip: assignment.ip, rtt: total, label: format!("server-{}", serving.code()) });
+
+    TraceResult { vantage, hops, serving_site: serving }
+}
+
+fn serving_octet(s: Site) -> u8 {
+    match s {
+        Site::FairfaxVa => 10,
+        Site::LosAngeles => 20,
+        Site::London => 30,
+        Site::Manama => 40,
+        Site::AshburnVa => 50,
+        Site::SanJose => 60,
+        Site::Quincy => 70,
+        Site::Portland => 80,
+        Site::Dublin => 90,
+        Site::Frankfurt => 100,
+        Site::Singapore => 110,
+        Site::Tokyo => 120,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::whois::Owner;
+
+    #[test]
+    fn hop_rtts_are_monotone() {
+        let pool = ServerPool::unicast(Owner::Aws, "hubs", Site::SanJose);
+        let trace = traceroute(Site::FairfaxVa, &pool);
+        assert!(trace.hops.len() >= 4);
+        for w in trace.hops.windows(2) {
+            assert!(w[0].rtt <= w[1].rtt, "{:?} then {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn final_rtt_matches_model() {
+        let pool = ServerPool::unicast(Owner::Aws, "hubs", Site::SanJose);
+        let trace = traceroute(Site::FairfaxVa, &pool);
+        let expect = rtt_between(Site::FairfaxVa.point(), Site::SanJose.point());
+        assert_eq!(trace.final_rtt(), expect);
+    }
+
+    #[test]
+    fn penultimate_hop_encodes_serving_site() {
+        let pool = ServerPool::anycast(Owner::Cloudflare, "rr", Site::anycast_global());
+        let east = traceroute(Site::FairfaxVa, &pool);
+        let europe = traceroute(Site::London, &pool);
+        let pe = east.penultimate_hop().unwrap();
+        let pl = europe.penultimate_hop().unwrap();
+        assert_ne!(pe.ip, pl.ip, "different PoPs → different edge routers");
+        assert_eq!(east.serving_site, Site::AshburnVa);
+        assert_eq!(europe.serving_site, Site::London);
+    }
+
+    #[test]
+    fn unicast_penultimate_hop_is_stable_across_vantages() {
+        let pool = ServerPool::unicast(Owner::Microsoft, "altspace", Site::SanJose);
+        let a = traceroute(Site::FairfaxVa, &pool);
+        let b = traceroute(Site::London, &pool);
+        assert_eq!(a.penultimate_hop().unwrap().ip, b.penultimate_hop().unwrap().ip);
+    }
+
+    #[test]
+    fn longer_paths_have_more_backbone_hops() {
+        let near = ServerPool::unicast(Owner::Meta, "w", Site::AshburnVa);
+        let far = ServerPool::unicast(Owner::Aws, "h", Site::SanJose);
+        let t_near = traceroute(Site::FairfaxVa, &near);
+        let t_far = traceroute(Site::FairfaxVa, &far);
+        assert!(t_far.hops.len() > t_near.hops.len());
+    }
+}

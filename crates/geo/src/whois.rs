@@ -1,0 +1,221 @@
+//! Synthetic IP addressing and WHOIS ownership.
+//!
+//! §4.2 uses WHOIS data to attribute servers to their operators: Microsoft
+//! (AltspaceVR), Meta (Worlds), AWS (Hubs, VRChat control), Cloudflare
+//! (Rec Room/VRChat data), and ANS (Rec Room control). We synthesise
+//! stable IPv4 addresses per (owner, site, instance) and a prefix table
+//! that maps them back to owners.
+
+use crate::sites::Site;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Server operators seen in the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Owner {
+    /// Microsoft (AltspaceVR).
+    Microsoft,
+    /// Meta (Horizon Worlds).
+    Meta,
+    /// Amazon Web Services (Mozilla Hubs; VRChat control channel).
+    Aws,
+    /// Cloudflare (Rec Room & VRChat data channels).
+    Cloudflare,
+    /// Advanced Network & Services (Rec Room control channel).
+    Ans,
+    /// Mozilla (used for private-Hubs deployments on AWS; kept distinct
+    /// for reporting).
+    Mozilla,
+}
+
+impl Owner {
+    /// The /8 prefix this owner's synthetic addresses live in.
+    pub fn prefix(self) -> u8 {
+        match self {
+            Owner::Microsoft => 13,
+            Owner::Meta => 31,
+            Owner::Aws => 52,
+            Owner::Cloudflare => 104,
+            Owner::Ans => 198,
+            Owner::Mozilla => 44,
+        }
+    }
+
+    /// Organisation string as WHOIS would print it.
+    pub fn org(self) -> &'static str {
+        match self {
+            Owner::Microsoft => "Microsoft Corporation",
+            Owner::Meta => "Meta Platforms, Inc.",
+            Owner::Aws => "Amazon Web Services",
+            Owner::Cloudflare => "Cloudflare, Inc.",
+            Owner::Ans => "Advanced Network & Services",
+            Owner::Mozilla => "Mozilla Corporation",
+        }
+    }
+}
+
+impl fmt::Display for Owner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Owner::Microsoft => write!(f, "Microsoft"),
+            Owner::Meta => write!(f, "Meta"),
+            Owner::Aws => write!(f, "AWS"),
+            Owner::Cloudflare => write!(f, "Cloudflare"),
+            Owner::Ans => write!(f, "ANS"),
+            Owner::Mozilla => write!(f, "Mozilla"),
+        }
+    }
+}
+
+fn site_octet(site: Site) -> u8 {
+    match site {
+        Site::FairfaxVa => 10,
+        Site::LosAngeles => 20,
+        Site::London => 30,
+        Site::Manama => 40,
+        Site::AshburnVa => 50,
+        Site::SanJose => 60,
+        Site::Quincy => 70,
+        Site::Portland => 80,
+        Site::Dublin => 90,
+        Site::Frankfurt => 100,
+        Site::Singapore => 110,
+        Site::Tokyo => 120,
+    }
+}
+
+/// Deterministic synthetic address of a server instance.
+pub fn server_ip(owner: Owner, site: Site, instance: u8) -> Ipv4Addr {
+    Ipv4Addr::new(owner.prefix(), site_octet(site), instance, 1)
+}
+
+/// The anycast address of an owner's service: the same IP regardless of
+/// which PoP answers (that is the point of anycast).
+pub fn anycast_ip(owner: Owner, service: u8) -> Ipv4Addr {
+    Ipv4Addr::new(owner.prefix(), 255, service, 1)
+}
+
+/// A synthetic hostname in the style the paper quotes
+/// ("oculus-verts-shv-01-iad3.facebook.com").
+pub fn server_hostname(owner: Owner, service: &str, site: Site, instance: u8) -> String {
+    let domain = match owner {
+        Owner::Microsoft => "cloudapp.azure.com",
+        Owner::Meta => "facebook.com",
+        Owner::Aws => "compute.amazonaws.com",
+        Owner::Cloudflare => "cloudflare.net",
+        Owner::Ans => "anscorporate.net",
+        Owner::Mozilla => "myhubs.net",
+    };
+    format!("{service}-shv-{instance:02}-{}.{domain}", site.code())
+}
+
+/// Prefix table mapping addresses back to operators.
+#[derive(Debug, Clone, Default)]
+pub struct WhoisDb;
+
+impl WhoisDb {
+    /// Create the standard table.
+    pub fn new() -> Self {
+        WhoisDb
+    }
+
+    /// Look up the owner of an address.
+    pub fn lookup(&self, ip: Ipv4Addr) -> Option<Owner> {
+        match ip.octets()[0] {
+            13 => Some(Owner::Microsoft),
+            31 => Some(Owner::Meta),
+            52 => Some(Owner::Aws),
+            104 => Some(Owner::Cloudflare),
+            198 => Some(Owner::Ans),
+            44 => Some(Owner::Mozilla),
+            _ => None,
+        }
+    }
+
+    /// MaxMind-style geolocation of a *unicast* address. Anycast addresses
+    /// return `None` — geolocating them is meaningless, which is why the
+    /// paper marks anycast locations "–" in Table 2.
+    pub fn geolocate(&self, ip: Ipv4Addr) -> Option<Site> {
+        let o = ip.octets();
+        if o[1] == 255 {
+            return None; // anycast block
+        }
+        match o[1] {
+            10 => Some(Site::FairfaxVa),
+            20 => Some(Site::LosAngeles),
+            30 => Some(Site::London),
+            40 => Some(Site::Manama),
+            50 => Some(Site::AshburnVa),
+            60 => Some(Site::SanJose),
+            70 => Some(Site::Quincy),
+            80 => Some(Site::Portland),
+            90 => Some(Site::Dublin),
+            100 => Some(Site::Frankfurt),
+            110 => Some(Site::Singapore),
+            120 => Some(Site::Tokyo),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_ips_are_deterministic_and_distinct() {
+        let a = server_ip(Owner::Meta, Site::AshburnVa, 1);
+        let b = server_ip(Owner::Meta, Site::AshburnVa, 1);
+        assert_eq!(a, b);
+        assert_ne!(a, server_ip(Owner::Meta, Site::AshburnVa, 2));
+        assert_ne!(a, server_ip(Owner::Meta, Site::SanJose, 1));
+        assert_ne!(a, server_ip(Owner::Aws, Site::AshburnVa, 1));
+    }
+
+    #[test]
+    fn whois_roundtrip() {
+        let db = WhoisDb::new();
+        for owner in [
+            Owner::Microsoft,
+            Owner::Meta,
+            Owner::Aws,
+            Owner::Cloudflare,
+            Owner::Ans,
+            Owner::Mozilla,
+        ] {
+            let ip = server_ip(owner, Site::SanJose, 3);
+            assert_eq!(db.lookup(ip), Some(owner));
+        }
+        assert_eq!(db.lookup(Ipv4Addr::new(8, 8, 8, 8)), None);
+    }
+
+    #[test]
+    fn geolocation_of_unicast_works() {
+        let db = WhoisDb::new();
+        let ip = server_ip(Owner::Aws, Site::Portland, 0);
+        assert_eq!(db.geolocate(ip), Some(Site::Portland));
+    }
+
+    #[test]
+    fn geolocation_of_anycast_is_unknown() {
+        // Table 2 marks anycast server locations "–".
+        let db = WhoisDb::new();
+        let ip = anycast_ip(Owner::Cloudflare, 1);
+        assert_eq!(db.geolocate(ip), None);
+        assert_eq!(db.lookup(ip), Some(Owner::Cloudflare));
+    }
+
+    #[test]
+    fn hostname_shape_matches_paper_examples() {
+        let h = server_hostname(Owner::Meta, "oculus-verts", Site::AshburnVa, 1);
+        assert_eq!(h, "oculus-verts-shv-01-iad.facebook.com");
+        assert!(server_hostname(Owner::Aws, "hubs", Site::SanJose, 12).contains("sjc"));
+    }
+
+    #[test]
+    fn owner_display_and_org() {
+        assert_eq!(Owner::Ans.to_string(), "ANS");
+        assert!(Owner::Cloudflare.org().contains("Cloudflare"));
+    }
+}

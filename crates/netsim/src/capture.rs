@@ -1,0 +1,245 @@
+//! Packet capture at a vantage node — "Wireshark on the WiFi AP" (§3.2).
+//!
+//! A [`CaptureTap`] installed on a node records every packet that transits
+//! it, with a timestamp, the flow 5-tuple, the wire size, and the traffic
+//! direction relative to the client devices behind the tap. The analysis
+//! code in `svr-core` consumes these records exactly the way the paper's
+//! scripts consumed pcap files.
+
+use crate::flow::{FlowKey, FlowStats, ThroughputSeries};
+use crate::node::NodeId;
+use crate::packet::{Packet, Proto};
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Traffic direction relative to the client device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Client → server.
+    Uplink,
+    /// Server → client.
+    Downlink,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn flipped(self) -> Direction {
+        match self {
+            Direction::Uplink => Direction::Downlink,
+            Direction::Downlink => Direction::Uplink,
+        }
+    }
+}
+
+/// One captured packet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CaptureRecord {
+    /// Capture timestamp (when the packet transited the tap node).
+    pub ts: SimTime,
+    /// Flow 5-tuple.
+    pub flow: FlowKey,
+    /// Size on the wire, headers included.
+    pub wire_bytes: u64,
+    /// Application payload length.
+    pub payload_len: u32,
+    /// Direction relative to the client side of the tap.
+    pub direction: Direction,
+    /// Globally unique packet id (send order).
+    pub packet_id: u64,
+}
+
+/// A capture tap bound to one vantage node.
+#[derive(Debug, Default)]
+pub struct CaptureTap {
+    records: Vec<CaptureRecord>,
+}
+
+impl CaptureTap {
+    /// Create an empty tap.
+    pub fn new() -> Self {
+        CaptureTap::default()
+    }
+
+    /// Record a packet transiting the tap.
+    pub fn record(&mut self, ts: SimTime, pkt: &Packet, direction: Direction) {
+        self.records.push(CaptureRecord {
+            ts,
+            flow: FlowKey {
+                src: pkt.src,
+                dst: pkt.dst,
+                src_port: pkt.header.src_port,
+                dst_port: pkt.header.dst_port,
+                proto: pkt.header.proto,
+            },
+            wire_bytes: pkt.wire_size().as_bytes(),
+            payload_len: pkt.payload.len() as u32,
+            direction,
+            packet_id: pkt.id,
+        });
+    }
+
+    /// All records, in capture order.
+    pub fn records(&self) -> &[CaptureRecord] {
+        &self.records
+    }
+
+    /// Move the records out, leaving the tap empty.
+    pub fn take_records(&mut self) -> Vec<CaptureRecord> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// Number of captured packets.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// Filter records by direction.
+pub fn by_direction(records: &[CaptureRecord], d: Direction) -> Vec<CaptureRecord> {
+    records.iter().filter(|r| r.direction == d).copied().collect()
+}
+
+/// Filter records by transport protocol.
+pub fn by_proto(records: &[CaptureRecord], p: Proto) -> Vec<CaptureRecord> {
+    records.iter().filter(|r| r.flow.proto == p).copied().collect()
+}
+
+/// Filter records whose remote endpoint (the non-client end) is `server`.
+pub fn by_server(records: &[CaptureRecord], server: NodeId) -> Vec<CaptureRecord> {
+    records
+        .iter()
+        .filter(|r| match r.direction {
+            Direction::Uplink => r.flow.dst == server,
+            Direction::Downlink => r.flow.src == server,
+        })
+        .copied()
+        .collect()
+}
+
+/// Build a windowed throughput series from records.
+pub fn throughput_series(
+    records: &[CaptureRecord],
+    window: SimDuration,
+    origin: SimTime,
+    until: SimTime,
+) -> ThroughputSeries {
+    let mut s = ThroughputSeries::new(window, origin);
+    for r in records {
+        s.add(r.ts, crate::units::ByteSize::from_bytes(r.wire_bytes));
+    }
+    s.pad_until(until);
+    s
+}
+
+/// Aggregate per-flow statistics from records.
+pub fn flow_table(records: &[CaptureRecord]) -> HashMap<FlowKey, FlowStats> {
+    let mut table: HashMap<FlowKey, FlowStats> = HashMap::new();
+    for r in records {
+        table
+            .entry(r.flow)
+            .or_default()
+            .record(r.ts, crate::units::ByteSize::from_bytes(r.wire_bytes));
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::TransportHeader;
+    use bytes::Bytes;
+
+    fn mk_pkt(src: u32, dst: u32, proto: Proto, payload: usize, id: u64) -> Packet {
+        let mut p = Packet::new(
+            TransportHeader::datagram(proto, 40000, 443),
+            Bytes::from(vec![0u8; payload]),
+        );
+        p.src = NodeId(src);
+        p.dst = NodeId(dst);
+        p.id = id;
+        p
+    }
+
+    #[test]
+    fn record_captures_flow_fields() {
+        let mut tap = CaptureTap::new();
+        let pkt = mk_pkt(1, 9, Proto::Udp, 120, 77);
+        tap.record(SimTime::from_secs(5), &pkt, Direction::Uplink);
+        let r = tap.records()[0];
+        assert_eq!(r.flow.src, NodeId(1));
+        assert_eq!(r.flow.dst, NodeId(9));
+        assert_eq!(r.wire_bytes, 34 + 8 + 120);
+        assert_eq!(r.payload_len, 120);
+        assert_eq!(r.packet_id, 77);
+        assert_eq!(r.direction, Direction::Uplink);
+    }
+
+    #[test]
+    fn filters_compose() {
+        let mut tap = CaptureTap::new();
+        tap.record(SimTime::from_secs(1), &mk_pkt(1, 9, Proto::Udp, 10, 0), Direction::Uplink);
+        tap.record(SimTime::from_secs(2), &mk_pkt(9, 1, Proto::Udp, 10, 1), Direction::Downlink);
+        tap.record(SimTime::from_secs(3), &mk_pkt(1, 8, Proto::Tcp, 10, 2), Direction::Uplink);
+        let recs = tap.records();
+        assert_eq!(by_direction(recs, Direction::Uplink).len(), 2);
+        assert_eq!(by_proto(recs, Proto::Tcp).len(), 1);
+        // Server 9 matches both the uplink (dst) and downlink (src) packets.
+        assert_eq!(by_server(recs, NodeId(9)).len(), 2);
+        assert_eq!(by_server(recs, NodeId(8)).len(), 1);
+    }
+
+    #[test]
+    fn throughput_series_from_records() {
+        let mut tap = CaptureTap::new();
+        for k in 0..4u64 {
+            tap.record(
+                SimTime::from_secs(k),
+                &mk_pkt(1, 9, Proto::Udp, 83, k), // 34+8+83 = 125 B = 1000 bits
+                Direction::Uplink,
+            );
+        }
+        let s = throughput_series(
+            tap.records(),
+            SimDuration::from_secs(1),
+            SimTime::ZERO,
+            SimTime::from_secs(6),
+        );
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.rate_at(0).as_bps(), 1000);
+        assert_eq!(s.rate_at(5).as_bps(), 0);
+    }
+
+    #[test]
+    fn flow_table_groups_by_five_tuple() {
+        let mut tap = CaptureTap::new();
+        tap.record(SimTime::from_secs(1), &mk_pkt(1, 9, Proto::Udp, 10, 0), Direction::Uplink);
+        tap.record(SimTime::from_secs(2), &mk_pkt(1, 9, Proto::Udp, 10, 1), Direction::Uplink);
+        tap.record(SimTime::from_secs(3), &mk_pkt(9, 1, Proto::Udp, 10, 2), Direction::Downlink);
+        let table = flow_table(tap.records());
+        assert_eq!(table.len(), 2);
+        let up_key = tap.records()[0].flow;
+        assert_eq!(table[&up_key].packets, 2);
+    }
+
+    #[test]
+    fn take_records_empties_tap() {
+        let mut tap = CaptureTap::new();
+        tap.record(SimTime::ZERO, &mk_pkt(1, 9, Proto::Udp, 1, 0), Direction::Uplink);
+        assert_eq!(tap.len(), 1);
+        let recs = tap.take_records();
+        assert_eq!(recs.len(), 1);
+        assert!(tap.is_empty());
+    }
+
+    #[test]
+    fn direction_flip() {
+        assert_eq!(Direction::Uplink.flipped(), Direction::Downlink);
+        assert_eq!(Direction::Downlink.flipped(), Direction::Uplink);
+    }
+}

@@ -1,0 +1,304 @@
+//! Flow identification and windowed throughput series.
+//!
+//! The paper's throughput plots (Figures 2, 3, 6, 12, 13) are per-second
+//! throughput series computed from Wireshark captures, split per flow
+//! (control vs data channel) and direction. [`ThroughputSeries`] is that
+//! computation.
+
+use crate::node::NodeId;
+use crate::packet::Proto;
+use crate::time::{SimDuration, SimTime};
+use crate::units::{Bitrate, ByteSize};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The 5-tuple identifying a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlowKey {
+    /// Originating node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub proto: Proto,
+}
+
+impl FlowKey {
+    /// The reverse flow (server→client for a client→server key).
+    pub fn reversed(self) -> FlowKey {
+        FlowKey {
+            src: self.dst,
+            dst: self.src,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            proto: self.proto,
+        }
+    }
+
+    /// The canonical bidirectional key: both directions map to the same
+    /// value, so a conversation can be grouped regardless of direction.
+    pub fn bidirectional(self) -> FlowKey {
+        let fwd = (self.src, self.src_port);
+        let rev = (self.dst, self.dst_port);
+        if fwd <= rev {
+            self
+        } else {
+            self.reversed()
+        }
+    }
+}
+
+impl fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{} -> {}:{}",
+            self.proto, self.src, self.src_port, self.dst, self.dst_port
+        )
+    }
+}
+
+/// Aggregate counters for one flow.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FlowStats {
+    /// Packets observed.
+    pub packets: u64,
+    /// Wire bytes observed.
+    pub bytes: u64,
+    /// Timestamp of the first packet.
+    pub first: Option<SimTime>,
+    /// Timestamp of the last packet.
+    pub last: Option<SimTime>,
+}
+
+impl FlowStats {
+    /// Record one packet.
+    pub fn record(&mut self, ts: SimTime, wire_bytes: ByteSize) {
+        self.packets += 1;
+        self.bytes += wire_bytes.as_bytes();
+        if self.first.is_none() {
+            self.first = Some(ts);
+        }
+        self.last = Some(ts);
+    }
+
+    /// Mean rate over the flow's active interval.
+    pub fn mean_rate(&self) -> Bitrate {
+        match (self.first, self.last) {
+            (Some(a), Some(b)) if b > a => {
+                ByteSize::from_bytes(self.bytes).rate_over(b - a)
+            }
+            _ => Bitrate::ZERO,
+        }
+    }
+}
+
+/// A per-window throughput series computed from `(timestamp, bytes)` samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputSeries {
+    /// Window length.
+    pub window: SimDuration,
+    /// Start of the first window.
+    pub origin: SimTime,
+    /// Bytes accumulated per window (index k covers
+    /// `[origin + k*window, origin + (k+1)*window)`).
+    pub bytes: Vec<u64>,
+}
+
+impl ThroughputSeries {
+    /// Create an empty series with the given window length and origin.
+    pub fn new(window: SimDuration, origin: SimTime) -> Self {
+        assert!(window > SimDuration::ZERO, "zero window");
+        ThroughputSeries { window, origin, bytes: Vec::new() }
+    }
+
+    /// Accumulate a sample. Samples before `origin` are ignored; samples
+    /// may arrive in any order.
+    pub fn add(&mut self, ts: SimTime, wire_bytes: ByteSize) {
+        if ts < self.origin {
+            return;
+        }
+        let idx = ((ts - self.origin).as_micros() / self.window.as_micros()) as usize;
+        if idx >= self.bytes.len() {
+            self.bytes.resize(idx + 1, 0);
+        }
+        self.bytes[idx] += wire_bytes.as_bytes();
+    }
+
+    /// Extend the series (with zero-filled windows) to cover `until`.
+    pub fn pad_until(&mut self, until: SimTime) {
+        if until <= self.origin {
+            return;
+        }
+        let idx = ((until - self.origin).as_micros().saturating_sub(1)
+            / self.window.as_micros()) as usize;
+        if idx >= self.bytes.len() {
+            self.bytes.resize(idx + 1, 0);
+        }
+    }
+
+    /// The rate in window `k`.
+    pub fn rate_at(&self, k: usize) -> Bitrate {
+        let b = self.bytes.get(k).copied().unwrap_or(0);
+        ByteSize::from_bytes(b).rate_over(self.window)
+    }
+
+    /// All `(window_start, rate)` points.
+    pub fn points(&self) -> Vec<(SimTime, Bitrate)> {
+        (0..self.bytes.len())
+            .map(|k| (self.origin + self.window * k as u64, self.rate_at(k)))
+            .collect()
+    }
+
+    /// Mean rate across windows `[from, to)` (indices clamped to the series).
+    pub fn mean_rate_in(&self, from: usize, to: usize) -> Bitrate {
+        let to = to.min(self.bytes.len());
+        if from >= to {
+            return Bitrate::ZERO;
+        }
+        let total: u64 = self.bytes[from..to].iter().sum();
+        let span = self.window * (to - from) as u64;
+        ByteSize::from_bytes(total).rate_over(span)
+    }
+
+    /// Mean rate over the whole series.
+    pub fn mean_rate(&self) -> Bitrate {
+        self.mean_rate_in(0, self.bytes.len())
+    }
+
+    /// Number of windows.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether no windows exist yet.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn key() -> FlowKey {
+        FlowKey {
+            src: NodeId(1),
+            dst: NodeId(2),
+            src_port: 5000,
+            dst_port: 443,
+            proto: Proto::Tcp,
+        }
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let k = key();
+        let r = k.reversed();
+        assert_eq!(r.src, k.dst);
+        assert_eq!(r.dst_port, k.src_port);
+        assert_eq!(r.reversed(), k);
+    }
+
+    #[test]
+    fn bidirectional_is_direction_invariant() {
+        let k = key();
+        assert_eq!(k.bidirectional(), k.reversed().bidirectional());
+    }
+
+    #[test]
+    fn flow_stats_accumulate() {
+        let mut s = FlowStats::default();
+        s.record(SimTime::from_secs(1), ByteSize::from_bytes(500));
+        s.record(SimTime::from_secs(3), ByteSize::from_bytes(500));
+        assert_eq!(s.packets, 2);
+        assert_eq!(s.bytes, 1000);
+        // 1000 bytes over 2 s = 4000 bps.
+        assert_eq!(s.mean_rate().as_bps(), 4000);
+    }
+
+    #[test]
+    fn single_packet_flow_has_zero_rate() {
+        let mut s = FlowStats::default();
+        s.record(SimTime::from_secs(1), ByteSize::from_bytes(500));
+        assert_eq!(s.mean_rate(), Bitrate::ZERO);
+    }
+
+    #[test]
+    fn series_buckets_by_window() {
+        let mut ts = ThroughputSeries::new(SimDuration::from_secs(1), SimTime::ZERO);
+        ts.add(SimTime::from_millis(100), ByteSize::from_bytes(125));
+        ts.add(SimTime::from_millis(900), ByteSize::from_bytes(125));
+        ts.add(SimTime::from_millis(1000), ByteSize::from_bytes(250));
+        assert_eq!(ts.len(), 2);
+        // 250 B in 1 s = 2000 bps.
+        assert_eq!(ts.rate_at(0).as_bps(), 2000);
+        assert_eq!(ts.rate_at(1).as_bps(), 2000);
+        assert_eq!(ts.rate_at(7), Bitrate::ZERO);
+    }
+
+    #[test]
+    fn series_respects_origin() {
+        let mut ts =
+            ThroughputSeries::new(SimDuration::from_secs(1), SimTime::from_secs(10));
+        ts.add(SimTime::from_secs(5), ByteSize::from_bytes(999)); // before origin: dropped
+        ts.add(SimTime::from_secs(10), ByteSize::from_bytes(125));
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts.bytes[0], 125);
+        let pts = ts.points();
+        assert_eq!(pts[0].0, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn mean_rate_in_range() {
+        let mut ts = ThroughputSeries::new(SimDuration::from_secs(1), SimTime::ZERO);
+        for k in 0..10u64 {
+            ts.add(SimTime::from_secs(k), ByteSize::from_bytes(125));
+        }
+        assert_eq!(ts.mean_rate_in(0, 10).as_bps(), 1000);
+        assert_eq!(ts.mean_rate_in(0, 100).as_bps(), 1000); // clamped
+        assert_eq!(ts.mean_rate_in(5, 5), Bitrate::ZERO);
+        assert_eq!(ts.mean_rate().as_bps(), 1000);
+    }
+
+    #[test]
+    fn pad_until_extends_with_zeros() {
+        let mut ts = ThroughputSeries::new(SimDuration::from_secs(1), SimTime::ZERO);
+        ts.add(SimTime::from_secs(0), ByteSize::from_bytes(1));
+        ts.pad_until(SimTime::from_secs(5));
+        assert_eq!(ts.len(), 5);
+        assert_eq!(ts.bytes[4], 0);
+        // Padding to an exact boundary must not add a window beyond it.
+        let mut t2 = ThroughputSeries::new(SimDuration::from_secs(1), SimTime::ZERO);
+        t2.pad_until(SimTime::from_secs(3));
+        assert_eq!(t2.len(), 3);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_total_bytes_conserved(
+            samples in proptest::collection::vec((0u64..300_000_000, 1u64..2000), 0..300)
+        ) {
+            let mut ts = ThroughputSeries::new(SimDuration::from_secs(1), SimTime::ZERO);
+            let mut total = 0u64;
+            for (us, b) in &samples {
+                ts.add(SimTime::from_micros(*us), ByteSize::from_bytes(*b));
+                total += b;
+            }
+            prop_assert_eq!(ts.bytes.iter().sum::<u64>(), total);
+        }
+
+        #[test]
+        fn prop_sample_lands_in_correct_window(us in 0u64..100_000_000) {
+            let mut ts = ThroughputSeries::new(SimDuration::from_secs(1), SimTime::ZERO);
+            ts.add(SimTime::from_micros(us), ByteSize::from_bytes(1));
+            let k = (us / 1_000_000) as usize;
+            prop_assert_eq!(ts.bytes[k], 1);
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Directed links: bandwidth, propagation delay, queueing, loss, netem.
+//!
+//! A link models one direction of a physical or logical hop (headset→AP,
+//! AP→Internet, Internet→server). Store-and-forward semantics: a packet
+//! is serialized at the link rate (possibly capped by a netem stage),
+//! waits in a drop-tail queue while the link is busy, then propagates for
+//! the link delay plus any netem extra delay, and may be dropped by
+//! baseline or netem random loss.
+
+use crate::netem::{Impairment, NetemSchedule};
+use crate::node::NodeId;
+use crate::queue::DropTailQueue;
+use crate::time::{SimDuration, SimTime};
+use crate::units::{Bitrate, ByteSize};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a directed link within a [`crate::Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LinkId(pub(crate) u32);
+
+impl LinkId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Static parameters of a link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Serialization rate.
+    pub bandwidth: Bitrate,
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+    /// Baseline random loss probability in `[0, 1]`.
+    pub loss: f64,
+    /// Drop-tail buffer size in bytes.
+    pub queue_capacity: ByteSize,
+}
+
+impl LinkSpec {
+    /// Typical consumer WiFi hop: ~200 Mbps, 2 ms air latency, light loss.
+    pub fn wifi() -> Self {
+        LinkSpec {
+            bandwidth: Bitrate::from_mbps(200),
+            delay: SimDuration::from_millis(2),
+            loss: 0.0005,
+            queue_capacity: ByteSize::from_kb(256),
+        }
+    }
+
+    /// Campus/metro access hop: 1 Gbps, sub-millisecond.
+    pub fn campus() -> Self {
+        LinkSpec {
+            bandwidth: Bitrate::from_mbps(1000),
+            delay: SimDuration::from_micros(300),
+            loss: 0.0,
+            queue_capacity: ByteSize::from_mb(1),
+        }
+    }
+
+    /// Wide-area backbone hop with a configurable one-way delay.
+    pub fn backbone(one_way: SimDuration) -> Self {
+        LinkSpec {
+            bandwidth: Bitrate::from_mbps(10_000),
+            delay: one_way,
+            loss: 0.0,
+            queue_capacity: ByteSize::from_mb(4),
+        }
+    }
+
+    /// Server NIC / datacenter fabric hop.
+    pub fn datacenter() -> Self {
+        LinkSpec {
+            bandwidth: Bitrate::from_mbps(10_000),
+            delay: SimDuration::from_micros(100),
+            loss: 0.0,
+            queue_capacity: ByteSize::from_mb(4),
+        }
+    }
+
+    /// Override the propagation delay.
+    pub fn with_delay(mut self, delay: SimDuration) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Override the baseline loss probability.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        assert!((0.0..=1.0).contains(&loss), "loss out of range: {loss}");
+        self.loss = loss;
+        self
+    }
+
+    /// Override the bandwidth.
+    pub fn with_bandwidth(mut self, bw: Bitrate) -> Self {
+        self.bandwidth = bw;
+        self
+    }
+}
+
+/// Per-link counters, exposed for experiment diagnostics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Packets fully serialized onto the wire.
+    pub tx_packets: u64,
+    /// Bytes fully serialized onto the wire.
+    pub tx_bytes: u64,
+    /// Packets dropped by random loss (baseline + netem).
+    pub lost_packets: u64,
+    /// Packets dropped by queue overflow.
+    pub queue_drops: u64,
+}
+
+/// A directed link between two nodes.
+#[derive(Debug)]
+pub struct Link {
+    /// Transmitting node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Static parameters.
+    pub spec: LinkSpec,
+    /// Waiting room while the link serializes.
+    pub(crate) queue: DropTailQueue,
+    /// Time the current transmission finishes (`SimTime::ZERO` if idle
+    /// in the past).
+    pub(crate) busy_until: SimTime,
+    /// Impairment schedule (tc-netem equivalent).
+    pub(crate) netem: NetemSchedule,
+    /// If set, the netem schedule applies only to this protocol —
+    /// tc's filter-based classification, used by §8.1's TCP-only
+    /// uplink impairment.
+    pub(crate) netem_filter: Option<crate::packet::Proto>,
+    /// Counters.
+    pub stats: LinkStats,
+}
+
+impl Link {
+    pub(crate) fn new(src: NodeId, dst: NodeId, spec: LinkSpec) -> Self {
+        Link {
+            src,
+            dst,
+            spec,
+            queue: DropTailQueue::new(spec.queue_capacity),
+            busy_until: SimTime::ZERO,
+            netem: NetemSchedule::none(),
+            netem_filter: None,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Install (or replace) the netem schedule on this link, applying to
+    /// all traffic.
+    pub fn set_netem(&mut self, schedule: NetemSchedule) {
+        self.netem = schedule;
+        self.netem_filter = None;
+    }
+
+    /// Install a netem schedule that impairs only packets of `proto`
+    /// (tc's u32/protocol filter, used by §8.1's TCP-only experiments).
+    pub fn set_netem_filtered(&mut self, schedule: NetemSchedule, proto: crate::packet::Proto) {
+        self.netem = schedule;
+        self.netem_filter = Some(proto);
+    }
+
+    fn netem_applies(&self, proto: crate::packet::Proto) -> bool {
+        self.netem_filter.map(|f| f == proto).unwrap_or(true)
+    }
+
+    /// The impairment in force at `t` for a packet of `proto`.
+    pub fn impairment_at(&self, t: SimTime, proto: crate::packet::Proto) -> Impairment {
+        if self.netem_applies(proto) {
+            self.netem.at(t)
+        } else {
+            Impairment::NONE
+        }
+    }
+
+    /// Effective serialization rate at `t` (native bandwidth capped by netem).
+    pub fn effective_rate(&self, t: SimTime, proto: crate::packet::Proto) -> Bitrate {
+        match self.impairment_at(t, proto).rate_limit {
+            Some(cap) => cap.min(self.spec.bandwidth),
+            None => self.spec.bandwidth,
+        }
+    }
+
+    /// Combined loss probability at `t`: baseline and netem losses are
+    /// independent Bernoulli events, so `p = 1 - (1-a)(1-b)`.
+    pub fn effective_loss(&self, t: SimTime, proto: crate::packet::Proto) -> f64 {
+        let a = self.spec.loss;
+        let b = self.impairment_at(t, proto).loss;
+        1.0 - (1.0 - a) * (1.0 - b)
+    }
+
+    /// One-way latency applied after serialization at `t`.
+    pub fn effective_delay(&self, t: SimTime, proto: crate::packet::Proto) -> SimDuration {
+        self.spec.delay + self.impairment_at(t, proto).extra_delay
+    }
+
+    /// When an unfiltered netem rate cap is active, the queue is bounded
+    /// to ~one second of drain time at the capped rate (tc's shaper keeps
+    /// its latency budget small; an unbounded byte buffer would add tens
+    /// of seconds of queueing at paper-scale caps like 0.1 Mbps).
+    pub fn shaped_queue_cap(&self, t: SimTime) -> Option<ByteSize> {
+        if self.netem_filter.is_some() {
+            return None; // filtered schedules shape one protocol only
+        }
+        self.netem.at(t).rate_limit.map(|cap| cap.bytes_in(SimDuration::from_secs(1)))
+    }
+
+    /// Packets currently waiting in the queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Bytes currently waiting in the queue.
+    pub fn queue_bytes(&self) -> ByteSize {
+        self.queue.buffered()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netem::NetemStage;
+
+    use crate::packet::Proto;
+
+    fn link() -> Link {
+        Link::new(NodeId(0), NodeId(1), LinkSpec::wifi())
+    }
+
+    const P: Proto = Proto::Udp;
+
+    #[test]
+    fn effective_rate_respects_netem_cap() {
+        let mut l = link();
+        assert_eq!(l.effective_rate(SimTime::ZERO, P), Bitrate::from_mbps(200));
+        l.set_netem(NetemSchedule::from_stages(vec![NetemStage {
+            start: SimTime::from_secs(10),
+            end: SimTime::from_secs(20),
+            impairment: Impairment::rate(Bitrate::from_kbps(500)),
+        }]));
+        assert_eq!(l.effective_rate(SimTime::from_secs(15), P), Bitrate::from_kbps(500));
+        assert_eq!(l.effective_rate(SimTime::from_secs(25), P), Bitrate::from_mbps(200));
+    }
+
+    #[test]
+    fn netem_cap_never_raises_rate() {
+        let mut l = link();
+        l.set_netem(NetemSchedule::from_stages(vec![NetemStage {
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(1),
+            impairment: Impairment::rate(Bitrate::from_mbps(100_000)),
+        }]));
+        assert_eq!(l.effective_rate(SimTime::ZERO, P), Bitrate::from_mbps(200));
+    }
+
+    #[test]
+    fn loss_probabilities_combine_independently() {
+        let mut l = link();
+        l.spec.loss = 0.1;
+        l.set_netem(NetemSchedule::from_stages(vec![NetemStage {
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(1),
+            impairment: Impairment::loss(0.2),
+        }]));
+        let p = l.effective_loss(SimTime::ZERO, P);
+        assert!((p - (1.0 - 0.9 * 0.8)).abs() < 1e-12);
+        // Outside the stage only baseline applies.
+        assert!((l.effective_loss(SimTime::from_secs(2), P) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_adds_netem_extra() {
+        let mut l = link();
+        l.set_netem(NetemSchedule::from_stages(vec![NetemStage {
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(1),
+            impairment: Impairment::delay(SimDuration::from_millis(100)),
+        }]));
+        assert_eq!(l.effective_delay(SimTime::ZERO, P).as_millis(), 102);
+        assert_eq!(l.effective_delay(SimTime::from_secs(2), P).as_millis(), 2);
+    }
+
+    #[test]
+    fn filtered_netem_applies_only_to_matching_proto() {
+        let mut l = link();
+        l.set_netem_filtered(
+            NetemSchedule::from_stages(vec![NetemStage {
+                start: SimTime::ZERO,
+                end: SimTime::from_secs(10),
+                impairment: Impairment::delay(SimDuration::from_secs(5)),
+            }]),
+            Proto::Tcp,
+        );
+        // TCP is impaired; UDP sails through (§8.1 Fig. 13 bottom).
+        assert!(l.effective_delay(SimTime::ZERO, Proto::Tcp) > SimDuration::from_secs(4));
+        assert_eq!(l.effective_delay(SimTime::ZERO, Proto::Udp), l.spec.delay);
+        // Unfiltered set_netem clears the filter.
+        l.set_netem(NetemSchedule::none());
+        assert_eq!(l.effective_delay(SimTime::ZERO, Proto::Tcp), l.spec.delay);
+    }
+
+    #[test]
+    fn spec_builders() {
+        let s = LinkSpec::campus()
+            .with_delay(SimDuration::from_millis(7))
+            .with_loss(0.01)
+            .with_bandwidth(Bitrate::from_mbps(50));
+        assert_eq!(s.delay.as_millis(), 7);
+        assert_eq!(s.loss, 0.01);
+        assert_eq!(s.bandwidth.as_mbps(), 50.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! `tc-netem`-style impairment schedules.
+//!
+//! §8 of the paper disrupts one user's uplink or downlink with a staircase
+//! of rate caps, added delays, and packet-loss rates, each stage lasting
+//! 40 s followed by a 60 s recovery window. [`NetemSchedule`] reproduces
+//! that tool: a time-indexed sequence of [`Impairment`]s applied to one
+//! direction of one link.
+
+use crate::time::{SimDuration, SimTime};
+use crate::units::Bitrate;
+
+/// The impairment applied during one schedule stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Impairment {
+    /// Cap on the link rate (`None` = link native rate).
+    pub rate_limit: Option<Bitrate>,
+    /// Extra one-way delay added after serialization.
+    pub extra_delay: SimDuration,
+    /// Uniform random jitter added on top of `extra_delay` (tc-netem's
+    /// `delay <base> <jitter>`): each packet gets `U(0, jitter)` more.
+    pub jitter: SimDuration,
+    /// Additional random loss probability in `[0, 1]`.
+    pub loss: f64,
+    /// Probability of flipping one payload byte in transit (smoltcp-style
+    /// fault injection). Checksummed transports (TCP) discard corrupted
+    /// segments; raw datagrams deliver the damage to the application.
+    pub corrupt: f64,
+}
+
+impl Impairment {
+    /// No impairment (the "N" stages in the paper's figures).
+    pub const NONE: Impairment = Impairment {
+        rate_limit: None,
+        extra_delay: SimDuration::ZERO,
+        jitter: SimDuration::ZERO,
+        loss: 0.0,
+        corrupt: 0.0,
+    };
+
+    /// Rate cap only.
+    pub fn rate(limit: Bitrate) -> Self {
+        Impairment { rate_limit: Some(limit), ..Impairment::NONE }
+    }
+
+    /// Added delay only.
+    pub fn delay(extra: SimDuration) -> Self {
+        Impairment { extra_delay: extra, ..Impairment::NONE }
+    }
+
+    /// Added delay with uniform jitter (netem `delay base jitter`).
+    pub fn delay_jitter(extra: SimDuration, jitter: SimDuration) -> Self {
+        Impairment { extra_delay: extra, jitter, ..Impairment::NONE }
+    }
+
+    /// Random loss only.
+    pub fn loss(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability out of range: {p}");
+        Impairment { loss: p, ..Impairment::NONE }
+    }
+
+    /// Random single-byte corruption only.
+    pub fn corrupt(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "corrupt probability out of range: {p}");
+        Impairment { corrupt: p, ..Impairment::NONE }
+    }
+}
+
+/// One stage of a schedule: `[start, end)` with a fixed impairment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetemStage {
+    /// Stage start (inclusive).
+    pub start: SimTime,
+    /// Stage end (exclusive).
+    pub end: SimTime,
+    /// Impairment in force during the stage.
+    pub impairment: Impairment,
+}
+
+/// A time-ordered impairment schedule for one link direction.
+#[derive(Debug, Clone, Default)]
+pub struct NetemSchedule {
+    stages: Vec<NetemStage>,
+}
+
+impl NetemSchedule {
+    /// An empty schedule (never impairs).
+    pub fn none() -> Self {
+        NetemSchedule { stages: Vec::new() }
+    }
+
+    /// Build from explicit stages. Stages must be non-overlapping and
+    /// sorted by start time.
+    pub fn from_stages(stages: Vec<NetemStage>) -> Self {
+        for w in stages.windows(2) {
+            assert!(
+                w[0].end <= w[1].start,
+                "netem stages overlap: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        for s in &stages {
+            assert!(s.start < s.end, "empty netem stage: {s:?}");
+        }
+        NetemSchedule { stages }
+    }
+
+    /// The paper's §8 pattern: consecutive equal-length stages starting at
+    /// `start`, one per impairment, back to normal afterwards.
+    pub fn staircase(start: SimTime, stage_len: SimDuration, impairments: &[Impairment]) -> Self {
+        let mut stages = Vec::with_capacity(impairments.len());
+        let mut t = start;
+        for imp in impairments {
+            stages.push(NetemStage { start: t, end: t + stage_len, impairment: *imp });
+            t += stage_len;
+        }
+        NetemSchedule { stages }
+    }
+
+    /// The impairment in force at `t` ([`Impairment::NONE`] between stages).
+    pub fn at(&self, t: SimTime) -> Impairment {
+        // Schedules are tiny (≤ ~8 stages); linear scan is clearest.
+        for s in &self.stages {
+            if t >= s.start && t < s.end {
+                return s.impairment;
+            }
+        }
+        Impairment::NONE
+    }
+
+    /// Whether any stage is configured.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// End of the last stage, if any (useful for sizing experiment runs).
+    pub fn last_end(&self) -> Option<SimTime> {
+        self.stages.last().map(|s| s.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staircase_matches_paper_pattern() {
+        // §8: downlink stages 1.0/0.7/0.5/0.3/0.2/0.1 Mbps, 40 s each.
+        let caps = [1.0, 0.7, 0.5, 0.3, 0.2, 0.1];
+        let imps: Vec<Impairment> =
+            caps.iter().map(|m| Impairment::rate(Bitrate::from_mbps_f64(*m))).collect();
+        let sched =
+            NetemSchedule::staircase(SimTime::from_secs(40), SimDuration::from_secs(40), &imps);
+        // Before the first stage: unimpaired.
+        assert_eq!(sched.at(SimTime::from_secs(10)), Impairment::NONE);
+        // Mid second stage (40+40..40+80 → t=100 is stage #2).
+        let imp = sched.at(SimTime::from_secs(100));
+        assert_eq!(imp.rate_limit, Some(Bitrate::from_mbps_f64(0.7)));
+        // After the last stage (40 + 6*40 = 280): recovered.
+        assert_eq!(sched.at(SimTime::from_secs(281)), Impairment::NONE);
+        assert_eq!(sched.last_end(), Some(SimTime::from_secs(280)));
+    }
+
+    #[test]
+    fn stage_bounds_are_half_open() {
+        let sched = NetemSchedule::from_stages(vec![NetemStage {
+            start: SimTime::from_secs(1),
+            end: SimTime::from_secs(2),
+            impairment: Impairment::loss(0.5),
+        }]);
+        assert_eq!(sched.at(SimTime::from_secs(1)).loss, 0.5);
+        assert_eq!(sched.at(SimTime::from_secs(2)), Impairment::NONE);
+        assert_eq!(sched.at(SimTime::from_micros(999_999)), Impairment::NONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_stages_rejected() {
+        let s = |a: u64, b: u64| NetemStage {
+            start: SimTime::from_secs(a),
+            end: SimTime::from_secs(b),
+            impairment: Impairment::NONE,
+        };
+        NetemSchedule::from_stages(vec![s(0, 10), s(5, 15)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn invalid_loss_rejected() {
+        let _ = Impairment::loss(1.5);
+    }
+
+    #[test]
+    fn empty_schedule_never_impairs() {
+        let sched = NetemSchedule::none();
+        assert!(sched.is_empty());
+        assert_eq!(sched.at(SimTime::from_secs(123)), Impairment::NONE);
+        assert_eq!(sched.last_end(), None);
+    }
+
+    #[test]
+    fn jitter_constructor() {
+        let i = Impairment::delay_jitter(SimDuration::from_millis(100), SimDuration::from_millis(20));
+        assert_eq!(i.extra_delay.as_millis(), 100);
+        assert_eq!(i.jitter.as_millis(), 20);
+        assert_eq!(Impairment::NONE.jitter, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn combined_impairment_constructors() {
+        let i = Impairment::delay(SimDuration::from_millis(50));
+        assert_eq!(i.extra_delay.as_millis(), 50);
+        assert_eq!(i.rate_limit, None);
+        assert_eq!(i.loss, 0.0);
+        let r = Impairment::rate(Bitrate::from_kbps(300));
+        assert_eq!(r.rate_limit.unwrap().as_kbps(), 300.0);
+    }
+}

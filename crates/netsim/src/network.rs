@@ -1,0 +1,706 @@
+//! The discrete-event network: topology + event pump.
+//!
+//! [`Network`] owns nodes, directed links, capture taps, and the event
+//! queue. It is *poll-based*: higher layers call [`Network::send`] to
+//! inject packets and [`Network::poll`] / [`Network::poll_all`] to advance
+//! simulated time and collect deliveries, interleaving their own timers
+//! however they like. The event order is total and deterministic: events
+//! are keyed by `(time, insertion sequence)`.
+
+use crate::capture::{CaptureRecord, CaptureTap, Direction};
+use crate::link::{Link, LinkId, LinkSpec};
+use crate::node::{Node, NodeId, NodeKind};
+use crate::packet::Packet;
+use crate::rng::SimRng;
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// A packet handed to its destination node.
+#[derive(Debug, Clone)]
+pub struct Delivery {
+    /// Arrival time.
+    pub at: SimTime,
+    /// Destination node.
+    pub dst: NodeId,
+    /// The delivered packet.
+    pub packet: Packet,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    /// A link finished serializing a packet.
+    TxDone { link: LinkId, packet: Packet },
+    /// A packet arrived at a node after propagation.
+    HopArrive { node: NodeId, packet: Packet },
+}
+
+#[derive(Debug)]
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The simulated network.
+#[derive(Debug)]
+pub struct Network {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    /// Outgoing links per node.
+    adjacency: Vec<Vec<LinkId>>,
+    /// Next-hop cache: (from, to) → first link of the shortest path.
+    routes: HashMap<(NodeId, NodeId), LinkId>,
+    events: BinaryHeap<Reverse<Event>>,
+    now: SimTime,
+    next_seq: u64,
+    next_packet_id: u64,
+    rng: SimRng,
+    taps: HashMap<NodeId, CaptureTap>,
+    pending: VecDeque<Delivery>,
+}
+
+impl Network {
+    /// Create an empty network with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        Network {
+            nodes: Vec::new(),
+            links: Vec::new(),
+            adjacency: Vec::new(),
+            routes: HashMap::new(),
+            events: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            next_packet_id: 0,
+            rng: SimRng::seed_from_u64(seed ^ 0x6E65_7473_696D), // "netsim"
+            taps: HashMap::new(),
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Add a node; returns its id.
+    pub fn add_node(&mut self, name: impl Into<String>, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { name: name.into(), kind });
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Node metadata.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Add a directed link; returns its id.
+    pub fn add_link(&mut self, src: NodeId, dst: NodeId, spec: LinkSpec) -> LinkId {
+        assert!(src != dst, "self-loop link");
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link::new(src, dst, spec));
+        self.adjacency[src.index()].push(id);
+        self.routes.clear(); // topology changed; recompute lazily
+        id
+    }
+
+    /// Add a pair of directed links between `a` and `b`.
+    pub fn add_duplex_link(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        spec_ab: LinkSpec,
+        spec_ba: LinkSpec,
+    ) -> (LinkId, LinkId) {
+        (self.add_link(a, b, spec_ab), self.add_link(b, a, spec_ba))
+    }
+
+    /// Immutable access to a link.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// Mutable access to a link (e.g. to install a netem schedule).
+    pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        &mut self.links[id.index()]
+    }
+
+    /// The directed link from `a` to `b`, if one exists.
+    pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
+        self.adjacency[a.index()]
+            .iter()
+            .copied()
+            .find(|l| self.links[l.index()].dst == b)
+    }
+
+    /// Install a capture tap on `node` (idempotent).
+    pub fn add_tap(&mut self, node: NodeId) {
+        self.taps.entry(node).or_default();
+    }
+
+    /// Records captured at `node` so far.
+    pub fn tap_records(&self, node: NodeId) -> &[CaptureRecord] {
+        self.taps.get(&node).map(|t| t.records()).unwrap_or(&[])
+    }
+
+    /// Drain the records captured at `node`.
+    pub fn take_tap_records(&mut self, node: NodeId) -> Vec<CaptureRecord> {
+        self.taps.get_mut(&node).map(|t| t.take_records()).unwrap_or_default()
+    }
+
+    fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(Reverse(Event { at, seq, kind }));
+    }
+
+    /// Compute (and cache) the next hop from `from` toward `to` with a BFS
+    /// over link hops. Panics when no route exists — a topology bug.
+    fn next_hop(&mut self, from: NodeId, to: NodeId) -> LinkId {
+        if let Some(&l) = self.routes.get(&(from, to)) {
+            return l;
+        }
+        // BFS from `from`; record the first hop used to reach each node.
+        let n = self.nodes.len();
+        let mut first_hop: Vec<Option<LinkId>> = vec![None; n];
+        let mut visited = vec![false; n];
+        let mut q = VecDeque::new();
+        visited[from.index()] = true;
+        q.push_back(from);
+        while let Some(u) = q.pop_front() {
+            for &l in &self.adjacency[u.index()] {
+                let v = self.links[l.index()].dst;
+                if !visited[v.index()] {
+                    visited[v.index()] = true;
+                    first_hop[v.index()] =
+                        if u == from { Some(l) } else { first_hop[u.index()] };
+                    q.push_back(v);
+                }
+            }
+        }
+        let hop = first_hop[to.index()].unwrap_or_else(|| {
+            panic!(
+                "no route from {} ({}) to {} ({})",
+                self.nodes[from.index()].name,
+                from,
+                self.nodes[to.index()].name,
+                to
+            )
+        });
+        self.routes.insert((from, to), hop);
+        hop
+    }
+
+    /// Inject a packet at `from` destined for `to`.
+    ///
+    /// Fills in the packet's routing metadata (src, dst, send time, id) and
+    /// offers it to the first link of the shortest path.
+    pub fn send(&mut self, from: NodeId, to: NodeId, mut packet: Packet) {
+        assert!(from != to, "packet to self");
+        packet.src = from;
+        packet.dst = to;
+        packet.sent_at = self.now;
+        packet.id = self.next_packet_id;
+        self.next_packet_id += 1;
+        let hop = self.next_hop(from, to);
+        self.offer(hop, packet);
+    }
+
+    /// Offer a packet to a link: transmit now if idle, else queue.
+    fn offer(&mut self, link_id: LinkId, packet: Packet) {
+        let now = self.now;
+        let link = &mut self.links[link_id.index()];
+        if link.busy_until > now {
+            // Link busy: queue (drop-tail, bounded further while shaped).
+            let admitted = match link.shaped_queue_cap(now) {
+                Some(cap) => link.queue.push_capped(packet, cap),
+                None => link.queue.push(packet),
+            };
+            if !admitted {
+                link.stats.queue_drops += 1;
+            }
+        } else {
+            self.start_tx(link_id, packet);
+        }
+    }
+
+    fn start_tx(&mut self, link_id: LinkId, packet: Packet) {
+        let now = self.now;
+        let link = &mut self.links[link_id.index()];
+        let rate = link.effective_rate(now, packet.header.proto);
+        let ser = rate.serialization_time(packet.wire_size());
+        let done = now.checked_add(ser).unwrap_or(SimTime::MAX);
+        link.busy_until = done;
+        if done < SimTime::MAX {
+            self.schedule(done, EventKind::TxDone { link: link_id, packet });
+        }
+        // A zero-rate link swallows the packet: it never finishes
+        // serializing, exactly like a fully-blocked qdisc.
+    }
+
+    fn on_tx_done(&mut self, link_id: LinkId, mut packet: Packet) {
+        let now = self.now;
+        let link = &mut self.links[link_id.index()];
+        link.stats.tx_packets += 1;
+        link.stats.tx_bytes += packet.wire_size().as_bytes();
+        // Fault injection: flip one payload byte. A checksummed transport
+        // (TCP) detects and discards the segment — identical to loss from
+        // the endpoint's view; datagrams deliver the damage upward.
+        let corrupt_p = link.impairment_at(now, packet.header.proto).corrupt;
+        let loss = link.effective_loss(now, packet.header.proto);
+        let mut delay = link.effective_delay(now, packet.header.proto);
+        let jitter = link.impairment_at(now, packet.header.proto).jitter;
+        let dst = link.dst;
+        if jitter > crate::time::SimDuration::ZERO {
+            delay += crate::time::SimDuration::from_micros(
+                self.rng.range_u64(0, jitter.as_micros()),
+            );
+        }
+        let mut lost = self.rng.chance(loss);
+        if !lost && corrupt_p > 0.0 && self.rng.chance(corrupt_p) && !packet.payload.is_empty() {
+            if packet.header.proto == crate::packet::Proto::Tcp {
+                // The receiver's checksum discards it.
+                lost = true;
+            } else {
+                let idx = self.rng.index(packet.payload.len());
+                let mut bytes = packet.payload.to_vec();
+                bytes[idx] ^= 0xA5;
+                packet.payload = bytes::Bytes::from(bytes);
+            }
+        }
+        if lost {
+            self.links[link_id.index()].stats.lost_packets += 1;
+        } else {
+            let arrive = now.checked_add(delay).unwrap_or(SimTime::MAX);
+            if arrive < SimTime::MAX {
+                self.schedule(arrive, EventKind::HopArrive { node: dst, packet });
+            }
+        }
+        // Link is free: pull the next queued packet, if any.
+        if let Some(next) = self.links[link_id.index()].queue.pop() {
+            self.start_tx(link_id, next);
+        }
+    }
+
+    fn on_hop_arrive(&mut self, node: NodeId, packet: Packet) {
+        // Capture at tapped nodes (both transit and final-destination
+        // arrivals, like a port-mirrored AP).
+        if let Some(tap) = self.taps.get_mut(&node) {
+            let dir = if self.nodes[packet.src.index()].kind.is_client_device() {
+                Direction::Uplink
+            } else {
+                Direction::Downlink
+            };
+            tap.record(self.now, &packet, dir);
+        }
+        if node == packet.dst {
+            self.pending.push_back(Delivery { at: self.now, dst: node, packet });
+        } else {
+            let dst = packet.dst;
+            let hop = self.next_hop(node, dst);
+            self.offer(hop, packet);
+        }
+    }
+
+    /// The time of the next scheduled network event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        if !self.pending.is_empty() {
+            return Some(self.now);
+        }
+        self.events.peek().map(|Reverse(e)| e.at)
+    }
+
+    fn step(&mut self) {
+        let Reverse(ev) = self.events.pop().expect("step with empty queue");
+        debug_assert!(ev.at >= self.now, "event in the past");
+        self.now = ev.at;
+        match ev.kind {
+            EventKind::TxDone { link, packet } => self.on_tx_done(link, packet),
+            EventKind::HopArrive { node, packet } => self.on_hop_arrive(node, packet),
+        }
+    }
+
+    /// Advance until the first delivery at or before `until`.
+    ///
+    /// Returns `None` when no delivery happens by `until`; in that case the
+    /// clock has advanced to `until` (or stays at `now` if already past).
+    pub fn poll(&mut self, until: SimTime) -> Option<Delivery> {
+        loop {
+            if let Some(d) = self.pending.pop_front() {
+                return Some(d);
+            }
+            match self.events.peek() {
+                Some(Reverse(e)) if e.at <= until => self.step(),
+                _ => {
+                    self.now = self.now.max(until);
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Advance to `until`, collecting every delivery on the way.
+    pub fn poll_all(&mut self, until: SimTime) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        while let Some(Reverse(e)) = self.events.peek() {
+            if e.at > until {
+                break;
+            }
+            self.step();
+            out.extend(self.pending.drain(..));
+        }
+        out.extend(self.pending.drain(..));
+        self.now = self.now.max(until);
+        out
+    }
+
+    /// Total packets dropped anywhere in the network (loss + queue drops).
+    pub fn total_drops(&self) -> u64 {
+        self.links
+            .iter()
+            .map(|l| l.stats.lost_packets + l.stats.queue_drops)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netem::{Impairment, NetemSchedule, NetemStage};
+    use crate::packet::{Proto, TransportHeader};
+    use crate::time::SimDuration;
+    use crate::units::{Bitrate, ByteSize};
+    use bytes::Bytes;
+
+    fn two_node_net(spec: LinkSpec) -> (Network, NodeId, NodeId) {
+        let mut net = Network::new(1);
+        let a = net.add_node("a", NodeKind::Headset);
+        let b = net.add_node("b", NodeKind::Server);
+        net.add_duplex_link(a, b, spec, spec);
+        (net, a, b)
+    }
+
+    fn udp_pkt(n: usize) -> Packet {
+        Packet::new(
+            TransportHeader::datagram(Proto::Udp, 1000, 2000),
+            Bytes::from(vec![0u8; n]),
+        )
+    }
+
+    #[test]
+    fn delivery_time_is_serialization_plus_propagation() {
+        // 12 Mbps, 10 ms delay; 1458-byte payload → 1500 wire bytes → 1 ms ser.
+        let spec = LinkSpec {
+            bandwidth: Bitrate::from_mbps(12),
+            delay: SimDuration::from_millis(10),
+            loss: 0.0,
+            queue_capacity: ByteSize::from_mb(1),
+        };
+        let (mut net, a, b) = two_node_net(spec);
+        net.send(a, b, udp_pkt(1458));
+        let d = net.poll(SimTime::from_secs(1)).unwrap();
+        assert_eq!(d.at.as_micros(), 11_000);
+        assert_eq!(d.dst, b);
+        assert_eq!(d.packet.src, a);
+    }
+
+    #[test]
+    fn back_to_back_packets_queue_behind_each_other() {
+        let spec = LinkSpec {
+            bandwidth: Bitrate::from_mbps(12),
+            delay: SimDuration::from_millis(1),
+            loss: 0.0,
+            queue_capacity: ByteSize::from_mb(1),
+        };
+        let (mut net, a, b) = two_node_net(spec);
+        net.send(a, b, udp_pkt(1458)); // 1 ms ser
+        net.send(a, b, udp_pkt(1458)); // waits for the first
+        let d1 = net.poll(SimTime::from_secs(1)).unwrap();
+        let d2 = net.poll(SimTime::from_secs(1)).unwrap();
+        assert_eq!(d1.at.as_micros(), 2_000);
+        assert_eq!(d2.at.as_micros(), 3_000);
+    }
+
+    #[test]
+    fn multi_hop_route_found_and_timed() {
+        let mut net = Network::new(1);
+        let a = net.add_node("headset", NodeKind::Headset);
+        let ap = net.add_node("ap", NodeKind::AccessPoint);
+        let s = net.add_node("server", NodeKind::Server);
+        let hop = LinkSpec {
+            bandwidth: Bitrate::from_mbps(1000),
+            delay: SimDuration::from_millis(5),
+            loss: 0.0,
+            queue_capacity: ByteSize::from_mb(1),
+        };
+        net.add_duplex_link(a, ap, hop, hop);
+        net.add_duplex_link(ap, s, hop, hop);
+        net.send(a, s, udp_pkt(100));
+        let d = net.poll(SimTime::from_secs(1)).unwrap();
+        // Two hops of 5 ms plus two tiny serializations.
+        assert!(d.at >= SimTime::from_millis(10));
+        assert!(d.at < SimTime::from_millis(11));
+        assert_eq!(d.dst, s);
+    }
+
+    #[test]
+    #[should_panic(expected = "no route")]
+    fn unroutable_packet_panics() {
+        let mut net = Network::new(1);
+        let a = net.add_node("a", NodeKind::Headset);
+        let b = net.add_node("b", NodeKind::Server);
+        // no links
+        net.send(a, b, udp_pkt(10));
+    }
+
+    #[test]
+    fn poll_returns_none_and_advances_clock_when_idle() {
+        let (mut net, _a, _b) = two_node_net(LinkSpec::wifi());
+        assert!(net.poll(SimTime::from_secs(5)).is_none());
+        assert_eq!(net.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn random_loss_drops_proportionally() {
+        let spec = LinkSpec::wifi().with_loss(0.5);
+        let (mut net, a, b) = two_node_net(spec);
+        let n = 400;
+        let mut delivered = 0;
+        for i in 0..n {
+            // Space sends out so the queue never overflows.
+            let at = SimTime::from_millis(10 * i as u64);
+            delivered += net.poll_all(at).len();
+            net.send(a, b, udp_pkt(100));
+        }
+        delivered += net.poll_all(SimTime::from_secs(100)).len();
+        assert_eq!(delivered + net.total_drops() as usize, n);
+        let lost = net.total_drops() as f64 / n as f64;
+        assert!((lost - 0.5).abs() < 0.1, "loss fraction {lost}");
+    }
+
+    #[test]
+    fn shaped_queue_bounds_latency_not_just_bytes() {
+        // A 100 Kbps cap with a megabyte buffer must not build tens of
+        // seconds of backlog: the shaper admits ~1 s of queue.
+        let spec = LinkSpec {
+            bandwidth: Bitrate::from_mbps(100),
+            delay: SimDuration::from_millis(1),
+            loss: 0.0,
+            queue_capacity: ByteSize::from_mb(10),
+        };
+        let (mut net, a, b) = two_node_net(spec);
+        let link = net.link_between(a, b).unwrap();
+        net.link_mut(link).set_netem(NetemSchedule::from_stages(vec![NetemStage {
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(1000),
+            impairment: Impairment::rate(Bitrate::from_kbps(100)),
+        }]));
+        // Offer 100 KB instantly: only ~12.5 KB (1 s at 100 Kbps) queues.
+        for _ in 0..100 {
+            net.send(a, b, udp_pkt(958)); // 1000 wire bytes each
+        }
+        let deliveries = net.poll_all(SimTime::from_secs(60));
+        let last = deliveries.last().unwrap().at;
+        assert!(
+            last < SimTime::from_millis(1_700),
+            "worst queueing delay bounded to ~1 s of drain: {last}"
+        );
+        assert!(net.total_drops() > 80, "excess dropped, not buffered");
+    }
+
+    #[test]
+    fn netem_rate_cap_throttles_throughput() {
+        let spec = LinkSpec {
+            bandwidth: Bitrate::from_mbps(100),
+            delay: SimDuration::from_millis(1),
+            loss: 0.0,
+            queue_capacity: ByteSize::from_mb(10),
+        };
+        let (mut net, a, b) = two_node_net(spec);
+        let link = net.link_between(a, b).unwrap();
+        net.link_mut(link).set_netem(NetemSchedule::from_stages(vec![NetemStage {
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(100),
+            impairment: Impairment::rate(Bitrate::from_kbps(100)),
+        }]));
+        // 10 packets of 1000 wire bytes at 100 kbps: 80 ms each.
+        for _ in 0..10 {
+            net.send(a, b, udp_pkt(958));
+        }
+        let deliveries = net.poll_all(SimTime::from_secs(10));
+        assert_eq!(deliveries.len(), 10);
+        let last = deliveries.last().unwrap().at;
+        // 10 * 80 ms serialization + 1 ms propagation = 801 ms.
+        assert_eq!(last.as_millis(), 801);
+    }
+
+    #[test]
+    fn corruption_damages_udp_but_drops_tcp() {
+        use crate::packet::TcpFlags;
+        let spec = LinkSpec::campus();
+        let (mut net, a, b) = two_node_net(spec);
+        let link = net.link_between(a, b).unwrap();
+        net.link_mut(link).set_netem(NetemSchedule::from_stages(vec![NetemStage {
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(1000),
+            impairment: Impairment::corrupt(1.0),
+        }]));
+        // UDP: delivered, payload damaged.
+        let mut damaged = 0;
+        for _ in 0..50 {
+            net.send(a, b, udp_pkt(64));
+        }
+        let deliveries = net.poll_all(SimTime::from_secs(10));
+        assert_eq!(deliveries.len(), 50, "corruption is not loss for UDP");
+        for d in deliveries {
+            if d.packet.payload.iter().any(|&b| b != 0) {
+                damaged += 1;
+            }
+        }
+        assert_eq!(damaged, 50, "every UDP payload damaged at p=1");
+        // TCP: corrupted segments are dropped (checksum).
+        for _ in 0..50 {
+            let pkt = Packet::new(
+                TransportHeader::tcp(1, 2, 0, 0, TcpFlags::DATA),
+                Bytes::from(vec![0u8; 64]),
+            );
+            net.send(a, b, pkt);
+        }
+        let delivered = net.poll_all(SimTime::from_secs(60)).len();
+        assert_eq!(delivered, 0, "all corrupted TCP segments dropped");
+    }
+
+    #[test]
+    fn netem_jitter_spreads_arrivals() {
+        let (mut net, a, b) = two_node_net(LinkSpec::campus());
+        let link = net.link_between(a, b).unwrap();
+        net.link_mut(link).set_netem(NetemSchedule::from_stages(vec![NetemStage {
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(100),
+            impairment: Impairment::delay_jitter(
+                SimDuration::from_millis(50),
+                SimDuration::from_millis(40),
+            ),
+        }]));
+        let mut delays = Vec::new();
+        for i in 0..50u64 {
+            let t0 = SimTime::from_millis(i * 200);
+            net.poll_all(t0);
+            net.send(a, b, udp_pkt(100));
+            let d = net.poll(t0 + SimDuration::from_millis(150)).unwrap();
+            delays.push(d.at.saturating_since(t0).as_millis_f64());
+        }
+        let min = delays.iter().cloned().fold(f64::MAX, f64::min);
+        let max = delays.iter().cloned().fold(0.0, f64::max);
+        assert!(min >= 50.0, "base delay respected: {min}");
+        assert!(max <= 91.0, "jitter bounded: {max}");
+        assert!(max - min > 15.0, "jitter actually spreads arrivals: {min}..{max}");
+    }
+
+    #[test]
+    fn netem_extra_delay_shifts_arrivals() {
+        let (mut net, a, b) = two_node_net(LinkSpec::campus());
+        let link = net.link_between(a, b).unwrap();
+        net.link_mut(link).set_netem(NetemSchedule::from_stages(vec![NetemStage {
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(10),
+            impairment: Impairment::delay(SimDuration::from_millis(200)),
+        }]));
+        net.send(a, b, udp_pkt(100));
+        let d = net.poll(SimTime::from_secs(1)).unwrap();
+        assert!(d.at >= SimTime::from_millis(200));
+    }
+
+    #[test]
+    fn tap_records_transit_traffic_with_direction() {
+        let mut net = Network::new(1);
+        let u1 = net.add_node("u1", NodeKind::Headset);
+        let ap = net.add_node("ap", NodeKind::AccessPoint);
+        let s = net.add_node("server", NodeKind::Server);
+        net.add_duplex_link(u1, ap, LinkSpec::wifi(), LinkSpec::wifi());
+        net.add_duplex_link(ap, s, LinkSpec::campus(), LinkSpec::campus());
+        net.add_tap(ap);
+        net.send(u1, s, udp_pkt(50));
+        net.poll_all(SimTime::from_secs(1));
+        net.send(s, u1, udp_pkt(60));
+        net.poll_all(SimTime::from_secs(2));
+        let recs = net.tap_records(ap);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].direction, Direction::Uplink);
+        assert_eq!(recs[1].direction, Direction::Downlink);
+        assert_eq!(recs[0].payload_len, 50);
+        assert_eq!(recs[1].payload_len, 60);
+    }
+
+    #[test]
+    fn queue_overflow_counts_drops() {
+        let spec = LinkSpec {
+            bandwidth: Bitrate::from_kbps(8), // 1 KB/s: glacial
+            delay: SimDuration::from_millis(1),
+            loss: 0.0,
+            queue_capacity: ByteSize::from_bytes(300),
+        };
+        let (mut net, a, b) = two_node_net(spec);
+        for _ in 0..10 {
+            net.send(a, b, udp_pkt(100)); // 142 wire bytes each
+        }
+        // One in flight, two fit in the 300-byte queue, rest dropped.
+        assert!(net.total_drops() >= 7, "drops = {}", net.total_drops());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let (mut net, a, b) = two_node_net(LinkSpec::wifi().with_loss(0.3));
+            let mut times = Vec::new();
+            for _ in 0..50 {
+                net.send(a, b, udp_pkt(500));
+            }
+            for d in net.poll_all(SimTime::from_secs(10)) {
+                times.push(d.at.as_micros());
+            }
+            times
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fifo_order_preserved_per_flow() {
+        let (mut net, a, b) = two_node_net(LinkSpec::wifi());
+        for _ in 0..20 {
+            net.send(a, b, udp_pkt(700));
+        }
+        let ids: Vec<u64> = net
+            .poll_all(SimTime::from_secs(5))
+            .iter()
+            .map(|d| d.packet.id)
+            .collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted, "in-order delivery on a FIFO link");
+    }
+}

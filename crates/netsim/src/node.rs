@@ -1,0 +1,85 @@
+//! Nodes: the endpoints and middleboxes of the simulated network.
+//!
+//! The paper's testbed (§3.2, Figure 1) consists of VR headsets behind
+//! WiFi access points on a campus network, talking to platform servers
+//! across the Internet. [`NodeKind`] captures those roles; the capture
+//! taps in [`crate::capture`] use them to orient packet direction
+//! (uplink vs downlink) the same way Wireshark on the AP did.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node within a [`crate::Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Raw index (stable for the lifetime of the network).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The role a node plays in the testbed topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// An untethered VR headset (Oculus Quest 2 in the paper).
+    Headset,
+    /// A tethered VR headset driven by a PC (HTC VIVE Cosmos).
+    TetheredHeadset,
+    /// A desktop PC client.
+    Pc,
+    /// A WiFi access point — the paper's capture vantage point.
+    AccessPoint,
+    /// An Internet router hop (used by the synthetic traceroute paths).
+    Router,
+    /// A platform server (control- or data-channel).
+    Server,
+}
+
+impl NodeKind {
+    /// Whether this node is a client-side device (traffic from it is uplink).
+    pub fn is_client_device(self) -> bool {
+        matches!(
+            self,
+            NodeKind::Headset | NodeKind::TetheredHeadset | NodeKind::Pc
+        )
+    }
+}
+
+/// A node in the network: a name for diagnostics plus its role.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Human-readable label ("U1", "AP-east", "worlds-data-iad").
+    pub name: String,
+    /// Role in the topology.
+    pub kind: NodeKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_device_classification() {
+        assert!(NodeKind::Headset.is_client_device());
+        assert!(NodeKind::TetheredHeadset.is_client_device());
+        assert!(NodeKind::Pc.is_client_device());
+        assert!(!NodeKind::AccessPoint.is_client_device());
+        assert!(!NodeKind::Server.is_client_device());
+        assert!(!NodeKind::Router.is_client_device());
+    }
+
+    #[test]
+    fn node_id_display_and_index() {
+        let id = NodeId(7);
+        assert_eq!(id.to_string(), "n7");
+        assert_eq!(id.index(), 7);
+    }
+}

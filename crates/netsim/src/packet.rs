@@ -1,0 +1,240 @@
+//! Packets and transport headers.
+//!
+//! A [`Packet`] couples a typed transport header with an opaque payload.
+//! The payload bytes are produced by real codecs in the higher crates
+//! (avatar wire format, TLV control messages), so packet sizes on the
+//! simulated wire are honest consequences of what is being carried —
+//! the property the paper's throughput analysis (§5) depends on.
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+use crate::units::ByteSize;
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Transport protocol carried by a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Proto {
+    /// User Datagram Protocol — the data channel of four of the five
+    /// platforms (Table 2).
+    Udp,
+    /// Transmission Control Protocol — carries the HTTPS control channels.
+    Tcp,
+    /// ICMP echo, used by the RTT measurements of §4.2.
+    Icmp,
+}
+
+impl Proto {
+    /// L4 header length on the wire, in bytes.
+    pub fn header_len(self) -> u64 {
+        match self {
+            Proto::Udp => 8,
+            Proto::Tcp => 20,
+            Proto::Icmp => 8,
+        }
+    }
+}
+
+impl fmt::Display for Proto {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Proto::Udp => write!(f, "UDP"),
+            Proto::Tcp => write!(f, "TCP"),
+            Proto::Icmp => write!(f, "ICMP"),
+        }
+    }
+}
+
+/// TCP header flags (subset used by the simplified stack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash, Serialize, Deserialize)]
+pub struct TcpFlags {
+    /// Synchronise sequence numbers (connection setup).
+    pub syn: bool,
+    /// Acknowledgement field significant.
+    pub ack: bool,
+    /// No more data from sender.
+    pub fin: bool,
+    /// Reset the connection.
+    pub rst: bool,
+}
+
+impl TcpFlags {
+    /// Pure data segment (ACK flag set, as on every established-state segment).
+    pub const DATA: TcpFlags = TcpFlags { syn: false, ack: true, fin: false, rst: false };
+    /// SYN segment.
+    pub const SYN: TcpFlags = TcpFlags { syn: true, ack: false, fin: false, rst: false };
+    /// SYN+ACK segment.
+    pub const SYN_ACK: TcpFlags = TcpFlags { syn: true, ack: true, fin: false, rst: false };
+    /// FIN+ACK segment.
+    pub const FIN: TcpFlags = TcpFlags { syn: false, ack: true, fin: true, rst: false };
+
+    /// Pack into the low nibble of a byte (FIN=1, SYN=2, RST=4, ACK=16 as
+    /// in the real TCP header bit layout, minus the unused bits).
+    pub fn to_byte(self) -> u8 {
+        (self.fin as u8) | (self.syn as u8) << 1 | (self.rst as u8) << 2 | (self.ack as u8) << 4
+    }
+
+    /// Unpack from [`TcpFlags::to_byte`]'s encoding.
+    pub fn from_byte(b: u8) -> Self {
+        TcpFlags {
+            fin: b & 0x01 != 0,
+            syn: b & 0x02 != 0,
+            rst: b & 0x04 != 0,
+            ack: b & 0x10 != 0,
+        }
+    }
+}
+
+/// Typed transport header attached to every simulated packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TransportHeader {
+    /// Transport protocol.
+    pub proto: Proto,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number (TCP byte sequence; datagram counter for UDP).
+    pub seq: u32,
+    /// Acknowledgement number (TCP only; zero otherwise).
+    pub ack: u32,
+    /// TCP flags (all-false for UDP/ICMP).
+    pub flags: TcpFlags,
+    /// Advertised receive window (TCP only).
+    pub window: u16,
+}
+
+impl TransportHeader {
+    /// A plain datagram header (UDP or ICMP).
+    pub fn datagram(proto: Proto, src_port: u16, dst_port: u16) -> Self {
+        TransportHeader {
+            proto,
+            src_port,
+            dst_port,
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags::default(),
+            window: 0,
+        }
+    }
+
+    /// A TCP segment header.
+    pub fn tcp(src_port: u16, dst_port: u16, seq: u32, ack: u32, flags: TcpFlags) -> Self {
+        TransportHeader {
+            proto: Proto::Tcp,
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags,
+            window: 0xFFFF,
+        }
+    }
+}
+
+/// Fixed L2+L3 overhead per packet: Ethernet (14) + IPv4 (20) bytes.
+pub const L2_L3_OVERHEAD: u64 = 34;
+
+/// A packet in flight.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Transport header.
+    pub header: TransportHeader,
+    /// Application payload bytes.
+    pub payload: Bytes,
+    /// Node that originated the packet (filled in by [`crate::Network::send`]).
+    pub src: NodeId,
+    /// Final destination node (filled in by [`crate::Network::send`]).
+    pub dst: NodeId,
+    /// Time the packet entered the network (filled in by `send`).
+    pub sent_at: SimTime,
+    /// Unique per-network packet id, in send order (filled in by `send`).
+    pub id: u64,
+}
+
+impl Packet {
+    /// Build a packet; routing fields are filled in by [`crate::Network::send`].
+    pub fn new(header: TransportHeader, payload: Bytes) -> Self {
+        Packet {
+            header,
+            payload,
+            src: NodeId(u32::MAX),
+            dst: NodeId(u32::MAX),
+            sent_at: SimTime::ZERO,
+            id: u64::MAX,
+        }
+    }
+
+    /// Total size on the wire, headers included.
+    pub fn wire_size(&self) -> ByteSize {
+        ByteSize::from_bytes(L2_L3_OVERHEAD + self.header.proto.header_len() + self.payload.len() as u64)
+    }
+
+    /// Payload length in bytes.
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_includes_all_headers() {
+        let p = Packet::new(
+            TransportHeader::datagram(Proto::Udp, 1, 2),
+            Bytes::from_static(&[0u8; 100]),
+        );
+        assert_eq!(p.wire_size().as_bytes(), 34 + 8 + 100);
+        let t = Packet::new(
+            TransportHeader::tcp(1, 2, 0, 0, TcpFlags::SYN),
+            Bytes::new(),
+        );
+        assert_eq!(t.wire_size().as_bytes(), 34 + 20);
+    }
+
+    #[test]
+    fn tcp_flags_roundtrip() {
+        for fin in [false, true] {
+            for syn in [false, true] {
+                for rst in [false, true] {
+                    for ack in [false, true] {
+                        let f = TcpFlags { fin, syn, rst, ack };
+                        assert_eq!(TcpFlags::from_byte(f.to_byte()), f);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flag_constants() {
+        // Round-trip through the wire encoding so the assertions exercise
+        // runtime behaviour rather than constants.
+        let syn = TcpFlags::from_byte(TcpFlags::SYN.to_byte());
+        assert!(syn.syn && !syn.ack);
+        let syn_ack = TcpFlags::from_byte(TcpFlags::SYN_ACK.to_byte());
+        assert!(syn_ack.syn && syn_ack.ack);
+        let fin = TcpFlags::from_byte(TcpFlags::FIN.to_byte());
+        assert!(fin.fin && fin.ack);
+        let data = TcpFlags::from_byte(TcpFlags::DATA.to_byte());
+        assert!(data.ack && !data.syn && !data.fin);
+    }
+
+    #[test]
+    fn proto_header_lengths() {
+        assert_eq!(Proto::Udp.header_len(), 8);
+        assert_eq!(Proto::Tcp.header_len(), 20);
+        assert_eq!(Proto::Icmp.header_len(), 8);
+    }
+
+    #[test]
+    fn datagram_header_has_no_tcp_fields() {
+        let h = TransportHeader::datagram(Proto::Udp, 10, 20);
+        assert_eq!(h.seq, 0);
+        assert_eq!(h.ack, 0);
+        assert_eq!(h.flags, TcpFlags::default());
+    }
+}

@@ -1,0 +1,206 @@
+//! Deterministic randomness.
+//!
+//! Every stochastic decision in the simulator (packet loss, jitter, motion
+//! synthesis, server load-balancing) draws from a [`SimRng`] seeded from
+//! the experiment seed, so a run is reproducible bit-for-bit. Substreams
+//! can be forked per component so that adding a consumer in one module
+//! does not perturb the draws seen by another.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random-number generator for simulation components.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Fork an independent substream labelled by `tag`.
+    ///
+    /// The child stream is a pure function of the parent's seed position
+    /// and the tag, so two components forked with different tags never
+    /// share draws.
+    pub fn fork(&mut self, tag: u64) -> SimRng {
+        let base = self.inner.next_u64();
+        // SplitMix64-style mixing of (base, tag) into a child seed.
+        let mut z = base ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        SimRng::seed_from_u64(z)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.unit() < p
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range");
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "empty range");
+        if lo == hi {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// A sample from a normal distribution via Box–Muller.
+    ///
+    /// Used for measurement noise (the paper reports standard deviations
+    /// for every quantity).
+    pub fn gaussian(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "negative std dev");
+        if std_dev == 0.0 {
+            return mean;
+        }
+        // Avoid ln(0).
+        let u1: f64 = self.unit().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.unit();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        mean + z * std_dev
+    }
+
+    /// A positive sample from a normal distribution, clamped at `min`.
+    pub fn gaussian_at_least(&mut self, mean: f64, std_dev: f64, min: f64) -> f64 {
+        self.gaussian(mean, std_dev).max(min)
+    }
+
+    /// Exponentially-distributed sample with the given mean (for
+    /// Poisson-process inter-arrival times, e.g. background control bursts).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "non-positive mean");
+        let u: f64 = self.unit().max(f64::MIN_POSITIVE);
+        -mean * u.ln()
+    }
+
+    /// Pick a uniformly random element index for a slice of length `len`.
+    pub fn index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "empty slice");
+        self.inner.gen_range(0..len)
+    }
+
+    /// Raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should be effectively independent");
+    }
+
+    #[test]
+    fn forked_streams_are_independent_and_deterministic() {
+        let mut parent1 = SimRng::seed_from_u64(99);
+        let mut parent2 = SimRng::seed_from_u64(99);
+        let mut c1 = parent1.fork(1);
+        let mut c2 = parent2.fork(1);
+        for _ in 0..32 {
+            assert_eq!(c1.next_u64(), c2.next_u64());
+        }
+        let mut parent = SimRng::seed_from_u64(99);
+        let mut x = parent.fork(1);
+        let mut parent_b = SimRng::seed_from_u64(99);
+        let mut y = parent_b.fork(2);
+        let same = (0..64).filter(|_| x.next_u64() == y.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed_from_u64(0);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-1.0));
+        assert!(r.chance(2.0));
+    }
+
+    #[test]
+    fn chance_frequency_tracks_probability() {
+        let mut r = SimRng::seed_from_u64(1234);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| r.chance(0.2)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.2).abs() < 0.02, "freq {freq}");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = SimRng::seed_from_u64(55);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.gaussian(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn gaussian_zero_std_is_constant() {
+        let mut r = SimRng::seed_from_u64(3);
+        assert_eq!(r.gaussian(42.0, 0.0), 42.0);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = SimRng::seed_from_u64(77);
+        let n = 50_000;
+        let mean = (0..n).map(|_| r.exponential(5.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = SimRng::seed_from_u64(8);
+        for _ in 0..1000 {
+            let v = r.range_u64(3, 9);
+            assert!((3..=9).contains(&v));
+            let f = r.range_f64(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&f));
+            assert!(r.index(5) < 5);
+        }
+        assert_eq!(r.range_f64(2.0, 2.0), 2.0);
+    }
+}

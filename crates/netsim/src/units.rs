@@ -1,0 +1,226 @@
+//! Bandwidth and data-size units.
+//!
+//! The paper reports throughput in Kbps and Mbps and data volumes in KB/MB;
+//! these newtypes keep the unit conversions in one audited place instead of
+//! scattering `* 1000 / 8` arithmetic through the simulator.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// A link or flow rate in **bits per second**.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Bitrate(u64);
+
+impl Bitrate {
+    /// Zero rate (a fully-blocked link).
+    pub const ZERO: Bitrate = Bitrate(0);
+
+    /// From raw bits per second.
+    pub const fn from_bps(bps: u64) -> Self {
+        Bitrate(bps)
+    }
+
+    /// From kilobits per second (decimal, as in the paper's "Kbps").
+    pub const fn from_kbps(kbps: u64) -> Self {
+        Bitrate(kbps * 1_000)
+    }
+
+    /// From megabits per second.
+    pub const fn from_mbps(mbps: u64) -> Self {
+        Bitrate(mbps * 1_000_000)
+    }
+
+    /// From fractional megabits per second.
+    pub fn from_mbps_f64(mbps: f64) -> Self {
+        assert!(mbps.is_finite() && mbps >= 0.0, "invalid rate: {mbps}");
+        Bitrate((mbps * 1e6).round() as u64)
+    }
+
+    /// Raw bits per second.
+    pub const fn as_bps(self) -> u64 {
+        self.0
+    }
+
+    /// Kilobits per second as a float.
+    pub fn as_kbps(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Megabits per second as a float.
+    pub fn as_mbps(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Time to serialize `bytes` onto a link of this rate.
+    ///
+    /// Returns [`SimDuration::MAX`] for a zero rate: a blocked link never
+    /// finishes transmitting, which is exactly how a 100% netem rate cap
+    /// behaves.
+    pub fn serialization_time(self, bytes: ByteSize) -> SimDuration {
+        if self.0 == 0 {
+            return SimDuration::MAX;
+        }
+        let bits = bytes.as_bytes() as u128 * 8;
+        let us = bits * 1_000_000 / self.0 as u128;
+        SimDuration::from_micros(us.min(u64::MAX as u128) as u64)
+    }
+
+    /// Bytes transferable in `d` at this rate (truncating).
+    pub fn bytes_in(self, d: SimDuration) -> ByteSize {
+        let bits = self.0 as u128 * d.as_micros() as u128 / 1_000_000;
+        ByteSize::from_bytes((bits / 8).min(u64::MAX as u128) as u64)
+    }
+}
+
+impl fmt::Display for Bitrate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.2} Mbps", self.as_mbps())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.1} Kbps", self.as_kbps())
+        } else {
+            write!(f, "{} bps", self.0)
+        }
+    }
+}
+
+/// A quantity of data in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct ByteSize(u64);
+
+impl ByteSize {
+    /// Zero bytes.
+    pub const ZERO: ByteSize = ByteSize(0);
+
+    /// From raw bytes.
+    pub const fn from_bytes(b: u64) -> Self {
+        ByteSize(b)
+    }
+
+    /// From kilobytes (decimal).
+    pub const fn from_kb(kb: u64) -> Self {
+        ByteSize(kb * 1_000)
+    }
+
+    /// From megabytes (decimal).
+    pub const fn from_mb(mb: u64) -> Self {
+        ByteSize(mb * 1_000_000)
+    }
+
+    /// Raw byte count.
+    pub const fn as_bytes(self) -> u64 {
+        self.0
+    }
+
+    /// Kilobytes as a float.
+    pub fn as_kb(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Megabytes as a float.
+    pub fn as_mb(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The average rate achieved by moving this much data in `d`.
+    pub fn rate_over(self, d: SimDuration) -> Bitrate {
+        if d == SimDuration::ZERO {
+            return Bitrate::ZERO;
+        }
+        let bps = self.0 as u128 * 8 * 1_000_000 / d.as_micros() as u128;
+        Bitrate::from_bps(bps.min(u64::MAX as u128) as u64)
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: ByteSize) -> ByteSize {
+        ByteSize(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for ByteSize {
+    type Output = ByteSize;
+    fn add(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for ByteSize {
+    fn add_assign(&mut self, rhs: ByteSize) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.2} MB", self.as_mb())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.1} KB", self.as_kb())
+        } else {
+            write!(f, "{} B", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_conversions() {
+        assert_eq!(Bitrate::from_kbps(750).as_bps(), 750_000);
+        assert_eq!(Bitrate::from_mbps(25).as_kbps(), 25_000.0);
+        assert_eq!(Bitrate::from_mbps_f64(1.5).as_bps(), 1_500_000);
+    }
+
+    #[test]
+    fn serialization_time_basics() {
+        // 1500 bytes at 12 Mbps = 1500*8/12e6 s = 1 ms.
+        let t = Bitrate::from_mbps(12).serialization_time(ByteSize::from_bytes(1500));
+        assert_eq!(t.as_micros(), 1_000);
+        // Zero-rate link blocks forever.
+        assert_eq!(
+            Bitrate::ZERO.serialization_time(ByteSize::from_bytes(1)),
+            SimDuration::MAX
+        );
+        // Zero bytes serialize instantly.
+        assert_eq!(
+            Bitrate::from_kbps(1).serialization_time(ByteSize::ZERO),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn bytes_in_inverts_serialization() {
+        let rate = Bitrate::from_mbps(10);
+        let moved = rate.bytes_in(SimDuration::from_secs(2));
+        assert_eq!(moved.as_bytes(), 2_500_000);
+    }
+
+    #[test]
+    fn rate_over_computes_average_throughput() {
+        // 125 KB in 1 s is 1 Mbps.
+        let r = ByteSize::from_kb(125).rate_over(SimDuration::from_secs(1));
+        assert_eq!(r.as_bps(), 1_000_000);
+        assert_eq!(ByteSize::from_kb(1).rate_over(SimDuration::ZERO), Bitrate::ZERO);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(Bitrate::from_kbps(41).to_string(), "41.0 Kbps");
+        assert_eq!(Bitrate::from_mbps_f64(4.5).to_string(), "4.50 Mbps");
+        assert_eq!(ByteSize::from_mb(20).to_string(), "20.00 MB");
+        assert_eq!(ByteSize::from_bytes(12).to_string(), "12 B");
+    }
+
+    #[test]
+    fn bytesize_arithmetic() {
+        let a = ByteSize::from_kb(2);
+        let b = ByteSize::from_bytes(500);
+        assert_eq!((a + b).as_bytes(), 2500);
+        assert_eq!(a.saturating_sub(b).as_bytes(), 1500);
+        assert_eq!(b.saturating_sub(a), ByteSize::ZERO);
+    }
+}

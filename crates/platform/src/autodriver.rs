@@ -1,0 +1,188 @@
+//! AutoDriver-style scripted input playback (§9).
+//!
+//! The paper's future-work tooling extends Oculus AutoDriver, which
+//! "enables the test of VR applications by automatically playing back
+//! pre-defined inputs". This module is that player for the simulated
+//! testbed: a tiny line-oriented script format that compiles into
+//! session [`Behavior`]s, so crowd-sourced experiment definitions can be
+//! shipped as plain text.
+//!
+//! Script grammar (one command per line, `#` comments):
+//!
+//! ```text
+//! 5.0  join    0          # user 0 enters the event at t=5 s
+//! 6.0  chat    0          # socialise (wander + face the group)
+//! 6.0  wander  1
+//! 50   walk    1  3.0 4.0 # walk user 1 to (x=3, z=4)
+//! 250  turn    0  180     # snap turn by 180°
+//! 90   heading 0  270     # face absolute heading 270°
+//! 30   game               # start the platform's game for everyone
+//! 40   action  0          # §7 finger-touch marker
+//! 12   unmute  0
+//! ```
+
+use crate::session::Behavior;
+use svr_netsim::SimTime;
+
+/// A script parse error with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "script line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+fn err(line: usize, message: impl Into<String>) -> ScriptError {
+    ScriptError { line, message: message.into() }
+}
+
+/// Parse an AutoDriver script into behaviours (sorted by time).
+pub fn parse_script(script: &str) -> Result<Vec<Behavior>, ScriptError> {
+    let mut out = Vec::new();
+    for (idx, raw) in script.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        if tokens.len() < 2 {
+            return Err(err(line_no, format!("expected '<time> <command> ...', got '{line}'")));
+        }
+        let t: f64 = tokens[0]
+            .parse()
+            .map_err(|_| err(line_no, format!("bad time '{}'", tokens[0])))?;
+        if !(0.0..=1e7).contains(&t) {
+            return Err(err(line_no, format!("time {t} out of range")));
+        }
+        let at = SimTime::from_micros((t * 1e6) as u64);
+        let user = |k: usize| -> Result<usize, ScriptError> {
+            tokens
+                .get(k)
+                .ok_or_else(|| err(line_no, "missing user index"))?
+                .parse()
+                .map_err(|_| err(line_no, format!("bad user index '{}'", tokens[k])))
+        };
+        let num = |k: usize| -> Result<f32, ScriptError> {
+            tokens
+                .get(k)
+                .ok_or_else(|| err(line_no, "missing numeric argument"))?
+                .parse()
+                .map_err(|_| err(line_no, format!("bad number '{}'", tokens[k])))
+        };
+        let b = match tokens[1] {
+            "join" => Behavior::Join { user: user(2)?, at },
+            "chat" => Behavior::Chat { user: user(2)?, at },
+            "wander" => Behavior::Wander { user: user(2)?, at },
+            "walk" => Behavior::WalkTo { user: user(2)?, at, x: num(3)?, z: num(4)? },
+            "turn" => Behavior::Turn { user: user(2)?, at, delta_deg: num(3)? },
+            "heading" => Behavior::SetHeading { user: user(2)?, at, deg: num(3)? },
+            "game" => Behavior::StartGame { at },
+            "action" => Behavior::Action { user: user(2)?, at },
+            "unmute" => Behavior::Unmute { user: user(2)?, at },
+            other => return Err(err(line_no, format!("unknown command '{other}'"))),
+        };
+        out.push(b);
+    }
+    out.sort_by_key(|b| b.at());
+    Ok(out)
+}
+
+/// The §6.1 controlled experiment as a script (users join at 50 s
+/// intervals, U1 turns away at 250 s) — a ready-made example.
+pub fn fig6_script() -> &'static str {
+    "\
+# §6.1 scalability experiment (Fig. 6, Exp. 1)
+1    join 0
+50   join 1
+100  join 2
+150  join 3
+200  join 4
+250  turn 0 180
+"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_fig6_script() {
+        let behaviors = parse_script(fig6_script()).unwrap();
+        assert_eq!(behaviors.len(), 6);
+        assert_eq!(behaviors[0], Behavior::Join { user: 0, at: SimTime::from_secs(1) });
+        assert_eq!(
+            behaviors[5],
+            Behavior::Turn { user: 0, at: SimTime::from_secs(250), delta_deg: 180.0 }
+        );
+    }
+
+    #[test]
+    fn parses_every_command() {
+        let script = "\
+0.5 join 0
+1   chat 0
+2   wander 1
+3   walk 1 -2.5 4.0
+4   turn 0 22.5
+5   heading 0 270
+6   game
+7   action 0
+8   unmute 1
+";
+        let b = parse_script(script).unwrap();
+        assert_eq!(b.len(), 9);
+        assert_eq!(b[0], Behavior::Join { user: 0, at: SimTime::from_millis(500) });
+        assert!(matches!(b[3], Behavior::WalkTo { user: 1, x, z, .. } if x == -2.5 && z == 4.0));
+        assert!(matches!(b[6], Behavior::StartGame { .. }));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let b = parse_script("# nothing\n\n   \n1 join 0 # inline\n").unwrap();
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn sorts_by_time() {
+        let b = parse_script("9 join 1\n1 join 0\n").unwrap();
+        assert_eq!(b[0], Behavior::Join { user: 0, at: SimTime::from_secs(1) });
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_script("1 join 0\nbogus\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse_script("1 warp 0\n").unwrap_err();
+        assert!(e.message.contains("unknown command"));
+        let e = parse_script("x join 0\n").unwrap_err();
+        assert!(e.message.contains("bad time"));
+        let e = parse_script("1 walk 0 1.0\n").unwrap_err();
+        assert!(e.message.contains("missing numeric"));
+    }
+
+    #[test]
+    fn scripted_session_runs() {
+        use crate::config::PlatformConfig;
+        use crate::session::{run_session, SessionConfig};
+        use svr_netsim::SimDuration;
+        let mut cfg = SessionConfig::walk_and_chat(
+            PlatformConfig::recroom(),
+            2,
+            SimDuration::from_secs(15),
+            77,
+        );
+        cfg.behaviors = parse_script("1 join 0\n1 join 1\n2 chat 0\n2 chat 1\n").unwrap();
+        let r = run_session(&cfg);
+        assert!(r.users[0].avatar_updates_received > 50);
+    }
+}

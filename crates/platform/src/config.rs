@@ -1,0 +1,605 @@
+//! Per-platform configuration: the measured identity of each platform.
+//!
+//! Everything the paper attributes to a specific platform is a field
+//! here: protocols and server pools per channel (Table 2), avatar
+//! embodiment/tick/envelope (which *produce* Table 3's rates through the
+//! codec), client perf profile (Fig. 7/8), forwarding policy (§6),
+//! processing latencies (Table 4), background-download behaviour (§5.2),
+//! and Worlds' TCP-priority and clock-sync quirks (§8).
+//!
+//! Calibration note: tick rates and envelope sizes are chosen so that the
+//! *mechanical* cost of one update (codec bytes + app/UDP/IP overheads)
+//! times the tick rate lands on the paper's measured per-avatar rates;
+//! the rates themselves are never hard-coded anywhere downstream.
+
+use serde::{Deserialize, Serialize};
+use svr_avatar::Embodiment;
+use svr_client::{DeviceProfile, PerfProfile, Resolution};
+use svr_geo::{Owner, ServerPool, Site};
+use svr_netsim::{Bitrate, SimDuration};
+
+use crate::server::ForwardPolicy;
+
+/// The five platforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlatformId {
+    /// AltspaceVR (Microsoft, 2015).
+    AltspaceVr,
+    /// Mozilla Hubs (2018) — Web-based.
+    Hubs,
+    /// Rec Room (2016).
+    RecRoom,
+    /// VRChat (2017).
+    VrChat,
+    /// Horizon Worlds (Meta, 2021).
+    Worlds,
+}
+
+impl PlatformId {
+    /// All platforms, alphabetical.
+    pub const ALL: [PlatformId; 5] = [
+        PlatformId::AltspaceVr,
+        PlatformId::Hubs,
+        PlatformId::RecRoom,
+        PlatformId::VrChat,
+        PlatformId::Worlds,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlatformId::AltspaceVr => "AltspaceVR",
+            PlatformId::Hubs => "Hubs",
+            PlatformId::RecRoom => "Rec Room",
+            PlatformId::VrChat => "VRChat",
+            PlatformId::Worlds => "Worlds",
+        }
+    }
+}
+
+impl std::fmt::Display for PlatformId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// How the data channel is carried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DataTransport {
+    /// Raw UDP datagrams (AltspaceVR, Rec Room, VRChat, Worlds).
+    Udp,
+    /// A TLS-framed TCP stream — Hubs sends avatar state over HTTPS
+    /// while voice rides RTP/WebRTC (§4.1).
+    TlsStream,
+}
+
+/// Channel classification used throughout the analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChannelKind {
+    /// Menu operations, reports, clock sync — HTTPS.
+    Control,
+    /// Avatar embodiment, motion, voice, game state.
+    Data,
+}
+
+/// Extra traffic a game adds on the data channel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GameTraffic {
+    /// Game-state update rate.
+    pub tick_hz: f64,
+    /// Payload per update.
+    pub bytes_per_tick: usize,
+    /// Fraction of game traffic the server forwards to peers (the rest is
+    /// server-authoritative bookkeeping).
+    pub forward_fraction: f64,
+}
+
+/// Full configuration of one platform.
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    /// Which platform.
+    pub id: PlatformId,
+    /// Data-channel transport (Table 2).
+    pub data_transport: DataTransport,
+    /// Control-channel (HTTPS) server pool.
+    pub control_pool: ServerPool,
+    /// Data-channel server pool.
+    pub data_pool: ServerPool,
+
+    // --- avatar traffic (drives Table 3) ---
+    /// Avatar embodiment profile.
+    pub embodiment: Embodiment,
+    /// Avatar update rate.
+    pub avatar_tick_hz: f64,
+    /// Extra envelope bytes per avatar update (framing/metadata beyond
+    /// the pose codec — JSON-ish wrapping for Hubs, viseme/status for
+    /// Worlds).
+    pub avatar_envelope_bytes: usize,
+
+    // --- miscellaneous data-channel traffic ---
+    /// Client status messages on the data channel (not forwarded).
+    pub status_rate_hz: f64,
+    /// Bytes per status message.
+    pub status_bytes: usize,
+    /// Worlds-style telemetry: high-rate uplink the server keeps.
+    pub telemetry_rate_hz: f64,
+    /// Bytes per telemetry message.
+    pub telemetry_bytes: usize,
+    /// Server→client housekeeping on the data channel.
+    pub server_status_rate_hz: f64,
+    /// Bytes per server housekeeping message.
+    pub server_status_bytes: usize,
+    /// Voice frame rate when a user is unmuted (Opus-like 20 ms frames).
+    pub voice_frame_hz: f64,
+    /// Voice frame payload bytes.
+    pub voice_frame_bytes: usize,
+
+    // --- control channel ---
+    /// Periodic client report interval (the ~10 s HTTPS spikes of §4.1).
+    pub report_interval: Option<SimDuration>,
+    /// Report upload size.
+    pub report_up_bytes: usize,
+    /// Report response size.
+    pub report_down_bytes: usize,
+
+    // --- initialization (§5.2 background download) ---
+    /// Bytes downloaded when the app launches (virtual background etc.).
+    pub init_download_bytes: u64,
+    /// Hubs' behaviour: re-download on every join (no caching — the bug
+    /// the authors reported to Mozilla).
+    pub redownload_every_join: bool,
+
+    // --- rendering ---
+    /// Content resolution the app renders at (Table 3).
+    pub resolution: Resolution,
+    /// Client performance profile.
+    pub perf: PerfProfile,
+
+    // --- server behaviour ---
+    /// Forwarding policy (§6: only AltspaceVR is viewport-adaptive).
+    pub forward_policy: ForwardPolicy,
+    /// Fixed server processing latency per forwarded message.
+    pub server_base_proc: SimDuration,
+    /// Quadratic queueing coefficient, ms: server processing grows as
+    /// `base + quad × (N-2)²` with N concurrent users — the growing
+    /// per-user latency deltas of Fig. 11.
+    pub server_queue_quad_ms: f64,
+    /// Fraction of avatar payload the server forwards (Worlds' uplink is
+    /// visibly larger than its peers' downlink, §5.1).
+    pub forward_compression: f64,
+
+    // --- latency model (Table 4 anchors) ---
+    /// Mean sender-side processing latency, ms.
+    pub sender_proc_ms: f64,
+    /// Mean receiver-side processing latency at two users, ms.
+    pub receiver_proc_ms: f64,
+    /// Extra receiver latency per additional concurrent user, ms
+    /// (Fig. 11's growth is mainly receiver-side, §7).
+    pub receiver_per_user_ms: f64,
+
+    // --- quirks ---
+    /// Worlds: UDP sends are gated while TCP has unacked data (§8.1).
+    pub tcp_priority: bool,
+    /// Worlds: periodic clock-sync over the control channel that games
+    /// depend on (§8.1).
+    pub clock_sync: bool,
+    /// UDP data-channel liveness timeout (Worlds dies after ~30 s of
+    /// silence and never recovers).
+    pub udp_timeout: Option<SimDuration>,
+
+    // --- games ---
+    /// Game traffic profile, if the platform has games.
+    pub game: Option<GameTraffic>,
+}
+
+impl PlatformConfig {
+    /// Look up by id (the public production deployments).
+    pub fn of(id: PlatformId) -> PlatformConfig {
+        match id {
+            PlatformId::AltspaceVr => Self::altspace(),
+            PlatformId::Hubs => Self::hubs(),
+            PlatformId::RecRoom => Self::recroom(),
+            PlatformId::VrChat => Self::vrchat(),
+            PlatformId::Worlds => Self::worlds(),
+        }
+    }
+
+    /// AltspaceVR: anycast HTTPS control, unicast west-coast UDP data,
+    /// simplest avatar, viewport-adaptive forwarding (~150°), highest
+    /// server processing latency.
+    pub fn altspace() -> PlatformConfig {
+        PlatformConfig {
+            id: PlatformId::AltspaceVr,
+            data_transport: DataTransport::Udp,
+            control_pool: ServerPool::anycast(
+                Owner::Microsoft,
+                "altspace-ctl",
+                Site::anycast_global(),
+            ),
+            data_pool: ServerPool::unicast(Owner::Microsoft, "altspace-data", Site::SanJose)
+                .with_sticky(),
+            embodiment: Embodiment::upper_torso_no_face(),
+            avatar_tick_hz: 14.0,
+            avatar_envelope_bytes: 0,
+            status_rate_hz: 20.0,
+            status_bytes: 130,
+            telemetry_rate_hz: 0.0,
+            telemetry_bytes: 0,
+            // AltspaceVR's world-state sync is symmetric: the server
+            // echoes ~30 Kbps of non-avatar data (Table 3's downlink is
+            // ≈ its uplink although the avatar itself is only ~11 Kbps).
+            server_status_rate_hz: 20.0,
+            server_status_bytes: 130,
+            voice_frame_hz: 50.0,
+            voice_frame_bytes: 80,
+            report_interval: Some(SimDuration::from_secs(10)),
+            report_up_bytes: 2_100,
+            report_down_bytes: 6_200,
+            init_download_bytes: 18_000_000,
+            redownload_every_join: false,
+            resolution: Resolution::new(2016, 2224),
+            perf: PerfProfile::altspace(),
+            forward_policy: ForwardPolicy::ViewportAdaptive { width_deg: 150.0 },
+            server_base_proc: SimDuration::from_millis(62),
+            server_queue_quad_ms: 0.70,
+            forward_compression: 1.0,
+            sender_proc_ms: 24.5,
+            receiver_proc_ms: 36.1,
+            receiver_per_user_ms: 4.5,
+            tcp_priority: false,
+            clock_sync: false,
+            udp_timeout: None,
+            game: Some(GameTraffic { tick_hz: 4.0, bytes_per_tick: 120, forward_fraction: 1.0 }),
+        }
+    }
+
+    /// Mozilla Hubs: Web app; HTTPS control *and* avatar data (plus RTP
+    /// voice) against west-coast AWS; highest E2E latency.
+    pub fn hubs() -> PlatformConfig {
+        PlatformConfig {
+            id: PlatformId::Hubs,
+            data_transport: DataTransport::TlsStream,
+            control_pool: ServerPool::unicast(Owner::Aws, "hubs-ctl", Site::SanJose),
+            data_pool: ServerPool::unicast(Owner::Aws, "hubs-webrtc", Site::SanJose).with_sticky(),
+            embodiment: Embodiment::upper_torso_hands_no_face(),
+            avatar_tick_hz: 20.0,
+            avatar_envelope_bytes: 330,
+            status_rate_hz: 0.0,
+            status_bytes: 0,
+            telemetry_rate_hz: 0.0,
+            telemetry_bytes: 0,
+            server_status_rate_hz: 4.0,
+            server_status_bytes: 98,
+            voice_frame_hz: 50.0,
+            voice_frame_bytes: 80,
+            report_interval: Some(SimDuration::from_secs(15)),
+            report_up_bytes: 1_500,
+            report_down_bytes: 2_000,
+            init_download_bytes: 20_000_000,
+            redownload_every_join: true,
+            resolution: Resolution::new(1216, 1344),
+            perf: PerfProfile::hubs(),
+            forward_policy: ForwardPolicy::Direct,
+            server_base_proc: SimDuration::from_millis(46),
+            server_queue_quad_ms: 0.84,
+            forward_compression: 1.0,
+            sender_proc_ms: 42.4,
+            receiver_proc_ms: 60.1,
+            receiver_per_user_ms: 7.0,
+            tcp_priority: false,
+            clock_sync: false,
+            udp_timeout: None,
+            game: None,
+        }
+    }
+
+    /// A private Hubs deployment on a nearby cloud instance (§7's Hubs*):
+    /// same software, east-coast placement, unloaded server.
+    pub fn private_hubs() -> PlatformConfig {
+        let mut cfg = Self::hubs();
+        cfg.control_pool = ServerPool::unicast(Owner::Mozilla, "hubs-private-ctl", Site::AshburnVa);
+        cfg.data_pool =
+            ServerPool::unicast(Owner::Mozilla, "hubs-private-data", Site::AshburnVa).with_sticky();
+        cfg.server_base_proc = SimDuration::from_millis(13);
+        cfg.server_queue_quad_ms = 0.30;
+        cfg
+    }
+
+    /// Rec Room: anycast everywhere (ANS control, Cloudflare data),
+    /// simple face, lowest latency.
+    pub fn recroom() -> PlatformConfig {
+        PlatformConfig {
+            id: PlatformId::RecRoom,
+            data_transport: DataTransport::Udp,
+            control_pool: ServerPool::anycast(Owner::Ans, "recroom-ctl", Site::anycast_global()),
+            data_pool: ServerPool::anycast(
+                Owner::Cloudflare,
+                "recroom-data",
+                Site::anycast_global(),
+            ),
+            embodiment: Embodiment::upper_torso_simple_face(),
+            avatar_tick_hz: 28.0,
+            avatar_envelope_bytes: 0,
+            status_rate_hz: 10.0,
+            status_bytes: 21,
+            telemetry_rate_hz: 0.0,
+            telemetry_bytes: 0,
+            server_status_rate_hz: 10.0,
+            server_status_bytes: 21,
+            voice_frame_hz: 50.0,
+            voice_frame_bytes: 80,
+            report_interval: None,
+            report_up_bytes: 0,
+            report_down_bytes: 0,
+            init_download_bytes: 0, // pre-bundled in the 1.41 GB app
+            redownload_every_join: false,
+            resolution: Resolution::new(1224, 1346),
+            perf: PerfProfile::recroom(),
+            forward_policy: ForwardPolicy::Direct,
+            server_base_proc: SimDuration::from_millis(27),
+            server_queue_quad_ms: 0.58,
+            forward_compression: 1.0,
+            sender_proc_ms: 25.9,
+            receiver_proc_ms: 39.9,
+            receiver_per_user_ms: 4.8,
+            tcp_priority: false,
+            clock_sync: false,
+            udp_timeout: None,
+            game: Some(GameTraffic { tick_hz: 20.0, bytes_per_tick: 150, forward_fraction: 1.0 }),
+        }
+    }
+
+    /// VRChat: east-coast AWS control, Cloudflare anycast data, the only
+    /// full-body (cartoon) avatar.
+    pub fn vrchat() -> PlatformConfig {
+        PlatformConfig {
+            id: PlatformId::VrChat,
+            data_transport: DataTransport::Udp,
+            control_pool: ServerPool::unicast(Owner::Aws, "vrchat-ctl", Site::AshburnVa),
+            data_pool: ServerPool::anycast(
+                Owner::Cloudflare,
+                "vrchat-data",
+                Site::anycast_global(),
+            ),
+            embodiment: Embodiment::full_body_cartoon(),
+            avatar_tick_hz: 14.0,
+            avatar_envelope_bytes: 0,
+            status_rate_hz: 10.0,
+            status_bytes: 21,
+            telemetry_rate_hz: 0.0,
+            telemetry_bytes: 0,
+            server_status_rate_hz: 10.0,
+            server_status_bytes: 25,
+            voice_frame_hz: 50.0,
+            voice_frame_bytes: 80,
+            report_interval: None,
+            report_up_bytes: 0,
+            report_down_bytes: 0,
+            init_download_bytes: 22_000_000,
+            redownload_every_join: false,
+            resolution: Resolution::new(1440, 1584),
+            perf: PerfProfile::vrchat(),
+            forward_policy: ForwardPolicy::Direct,
+            server_base_proc: SimDuration::from_millis(30),
+            server_queue_quad_ms: 0.60,
+            forward_compression: 1.0,
+            sender_proc_ms: 27.3,
+            receiver_proc_ms: 37.4,
+            receiver_per_user_ms: 4.6,
+            tcp_priority: false,
+            clock_sync: false,
+            udp_timeout: None,
+            game: Some(GameTraffic { tick_hz: 12.0, bytes_per_tick: 85, forward_fraction: 1.0 }),
+        }
+    }
+
+    /// Horizon Worlds: Meta-owned east-coast servers, human-like avatar
+    /// at full precision, TCP-priority rule, periodic clock-sync spikes,
+    /// 30 s UDP liveness, uplink partially kept by the server.
+    pub fn worlds() -> PlatformConfig {
+        PlatformConfig {
+            id: PlatformId::Worlds,
+            data_transport: DataTransport::Udp,
+            control_pool: ServerPool::unicast(Owner::Meta, "edge-star", Site::AshburnVa),
+            data_pool: ServerPool::unicast(Owner::Meta, "oculus-verts", Site::AshburnVa),
+            embodiment: Embodiment::human_like(),
+            avatar_tick_hz: 60.0,
+            avatar_envelope_bytes: 50,
+            status_rate_hz: 0.0,
+            status_bytes: 0,
+            telemetry_rate_hz: 60.0,
+            telemetry_bytes: 821,
+            server_status_rate_hz: 20.0,
+            server_status_bytes: 458,
+            voice_frame_hz: 50.0,
+            voice_frame_bytes: 80,
+            report_interval: Some(SimDuration::from_secs(10)),
+            report_up_bytes: 36_000,
+            report_down_bytes: 0,
+            init_download_bytes: 5_000_000, // "Preparing for Visitors"
+            redownload_every_join: false,
+            resolution: Resolution::new(1440, 1584),
+            perf: PerfProfile::worlds(),
+            forward_policy: ForwardPolicy::Direct,
+            server_base_proc: SimDuration::from_millis(36),
+            server_queue_quad_ms: 1.00,
+            forward_compression: 1.0,
+            sender_proc_ms: 26.2,
+            receiver_proc_ms: 49.1,
+            receiver_per_user_ms: 5.5,
+            tcp_priority: true,
+            clock_sync: true,
+            udp_timeout: Some(SimDuration::from_secs(30)),
+            game: Some(GameTraffic { tick_hz: 60.0, bytes_per_tick: 815, forward_fraction: 0.62 }),
+        }
+    }
+
+    /// Expected wire bytes of one avatar update on this platform's data
+    /// channel (codec + envelope + channel/transport overheads).
+    pub fn avatar_update_wire_bytes(&self) -> usize {
+        let codec = svr_avatar::codec::update_payload_size(&self.embodiment);
+        let payload = codec + self.avatar_envelope_bytes;
+        match self.data_transport {
+            // 16 app header + 8 UDP + 34 L2/L3.
+            DataTransport::Udp => payload + 16 + 8 + 34,
+            // 4 length prefix + TLS record 22 + TCP 20 + 34 L2/L3.
+            DataTransport::TlsStream => payload + 4 + 22 + 20 + 34,
+        }
+    }
+
+    /// Predicted per-avatar data rate (the Table 3 "Avatar" column).
+    pub fn predicted_avatar_rate(&self) -> Bitrate {
+        let bytes_per_s = self.avatar_update_wire_bytes() as f64 * self.avatar_tick_hz;
+        Bitrate::from_bps((bytes_per_s * 8.0) as u64)
+    }
+
+    /// The device users run this platform on in the study.
+    pub fn device(&self) -> DeviceProfile {
+        DeviceProfile::quest2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Table 3, "Avatar" column, in Kbps.
+    const PAPER_AVATAR_KBPS: [(PlatformId, f64); 5] = [
+        (PlatformId::VrChat, 24.7),
+        (PlatformId::AltspaceVr, 11.1),
+        (PlatformId::RecRoom, 35.2),
+        (PlatformId::Hubs, 77.4),
+        (PlatformId::Worlds, 332.0),
+    ];
+
+    #[test]
+    fn predicted_avatar_rates_match_table3_within_10_percent() {
+        for (id, paper) in PAPER_AVATAR_KBPS {
+            let cfg = PlatformConfig::of(id);
+            let predicted = cfg.predicted_avatar_rate().as_kbps();
+            let err = (predicted - paper).abs() / paper;
+            assert!(
+                err < 0.10,
+                "{}: predicted {predicted:.1} Kbps vs paper {paper} Kbps ({:.0}% off)",
+                id,
+                err * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn worlds_rate_is_an_order_of_magnitude_above_the_rest() {
+        let worlds = PlatformConfig::worlds().predicted_avatar_rate().as_kbps();
+        for id in [PlatformId::AltspaceVr, PlatformId::RecRoom, PlatformId::VrChat] {
+            let other = PlatformConfig::of(id).predicted_avatar_rate().as_kbps();
+            assert!(worlds > 9.0 * other, "{worlds} vs {id}: {other}");
+        }
+    }
+
+    #[test]
+    fn table2_protocols() {
+        // UDP data everywhere except Hubs.
+        for id in PlatformId::ALL {
+            let cfg = PlatformConfig::of(id);
+            match id {
+                PlatformId::Hubs => assert_eq!(cfg.data_transport, DataTransport::TlsStream),
+                _ => assert_eq!(cfg.data_transport, DataTransport::Udp),
+            }
+        }
+    }
+
+    #[test]
+    fn table2_anycast_flags() {
+        // Control: AltspaceVR & Rec Room anycast; data: Rec Room & VRChat.
+        let anycast_ctl: Vec<PlatformId> = PlatformId::ALL
+            .into_iter()
+            .filter(|id| PlatformConfig::of(*id).control_pool.is_anycast())
+            .collect();
+        assert_eq!(anycast_ctl, vec![PlatformId::AltspaceVr, PlatformId::RecRoom]);
+        let anycast_data: Vec<PlatformId> = PlatformId::ALL
+            .into_iter()
+            .filter(|id| PlatformConfig::of(*id).data_pool.is_anycast())
+            .collect();
+        assert_eq!(anycast_data, vec![PlatformId::RecRoom, PlatformId::VrChat]);
+    }
+
+    #[test]
+    fn west_coast_unicast_platforms() {
+        // AltspaceVR data and both Hubs channels sit on the west coast
+        // (>70 ms from the east-coast testbed).
+        let east = Site::FairfaxVa;
+        assert!(PlatformConfig::altspace().data_pool.rtt_from(east).as_millis_f64() > 60.0);
+        assert!(PlatformConfig::hubs().data_pool.rtt_from(east).as_millis_f64() > 60.0);
+        assert!(PlatformConfig::hubs().control_pool.rtt_from(east).as_millis_f64() > 60.0);
+        // Worlds and VRChat control are nearby (<4 ms).
+        assert!(PlatformConfig::worlds().data_pool.rtt_from(east).as_millis_f64() < 4.0);
+        assert!(PlatformConfig::vrchat().control_pool.rtt_from(east).as_millis_f64() < 4.0);
+    }
+
+    #[test]
+    fn only_altspace_is_viewport_adaptive() {
+        for id in PlatformId::ALL {
+            let cfg = PlatformConfig::of(id);
+            match id {
+                PlatformId::AltspaceVr => assert!(matches!(
+                    cfg.forward_policy,
+                    ForwardPolicy::ViewportAdaptive { width_deg } if (width_deg - 150.0).abs() < 1.0
+                )),
+                _ => assert!(matches!(cfg.forward_policy, ForwardPolicy::Direct)),
+            }
+        }
+    }
+
+    #[test]
+    fn worlds_quirks() {
+        let w = PlatformConfig::worlds();
+        assert!(w.tcp_priority);
+        assert!(w.clock_sync);
+        assert_eq!(w.udp_timeout, Some(SimDuration::from_secs(30)));
+        assert!(w.game.is_some());
+        // Server keeps telemetry: uplink exceeds what peers receive.
+        assert!(w.telemetry_rate_hz > 0.0);
+        // No other platform has these.
+        for id in [PlatformId::AltspaceVr, PlatformId::Hubs, PlatformId::RecRoom, PlatformId::VrChat] {
+            let c = PlatformConfig::of(id);
+            assert!(!c.tcp_priority, "{id}");
+            assert!(!c.clock_sync, "{id}");
+        }
+    }
+
+    #[test]
+    fn hubs_is_the_only_gameless_platform() {
+        for id in PlatformId::ALL {
+            let has_game = PlatformConfig::of(id).game.is_some();
+            assert_eq!(has_game, id != PlatformId::Hubs, "{id}");
+        }
+    }
+
+    #[test]
+    fn private_hubs_is_nearby_and_fast() {
+        let pub_hubs = PlatformConfig::hubs();
+        let prv = PlatformConfig::private_hubs();
+        assert!(prv.data_pool.rtt_from(Site::FairfaxVa) < pub_hubs.data_pool.rtt_from(Site::FairfaxVa));
+        assert!(prv.server_base_proc < pub_hubs.server_base_proc);
+        assert_eq!(prv.id, PlatformId::Hubs);
+    }
+
+    #[test]
+    fn resolutions_match_table3() {
+        assert_eq!(PlatformConfig::altspace().resolution.to_string(), "2016x2224");
+        assert_eq!(PlatformConfig::recroom().resolution.to_string(), "1224x1346");
+        assert_eq!(PlatformConfig::vrchat().resolution.to_string(), "1440x1584");
+        assert_eq!(PlatformConfig::worlds().resolution.to_string(), "1440x1584");
+        assert_eq!(PlatformConfig::hubs().resolution.to_string(), "1216x1344");
+    }
+
+    #[test]
+    fn init_download_behaviour() {
+        // Rec Room pre-bundles; Hubs re-downloads every join (§5.2).
+        assert_eq!(PlatformConfig::recroom().init_download_bytes, 0);
+        assert!(PlatformConfig::hubs().redownload_every_join);
+        assert!(!PlatformConfig::vrchat().redownload_every_join);
+        let alts = PlatformConfig::altspace().init_download_bytes;
+        assert!((10_000_000..=30_000_000).contains(&alts));
+    }
+}

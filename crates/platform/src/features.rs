@@ -1,0 +1,177 @@
+//! Table 1: the feature matrix of the five platforms.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::PlatformId;
+
+/// Locomotion modes a platform offers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Locomotion {
+    /// Continuous walking.
+    Walk,
+    /// Jumping.
+    Jump,
+    /// Flying.
+    Fly,
+    /// Instantaneous transport without moving step by step.
+    Teleport,
+}
+
+/// One platform's row of Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureMatrix {
+    /// Which platform.
+    pub platform: PlatformId,
+    /// Operating company.
+    pub company: &'static str,
+    /// First-release year.
+    pub released: u16,
+    /// Locomotion options.
+    pub locomotion: Vec<Locomotion>,
+    /// Avatar facial expressions.
+    pub facial_expression: bool,
+    /// Personal space / boundary protection.
+    pub personal_space: bool,
+    /// In-world games.
+    pub games: bool,
+    /// Screen sharing.
+    pub share_screen: bool,
+    /// In-world shopping.
+    pub shopping: bool,
+    /// NFT support.
+    pub nft: bool,
+}
+
+impl FeatureMatrix {
+    /// The feature row for a platform (Table 1 verbatim).
+    pub fn of(platform: PlatformId) -> FeatureMatrix {
+        use Locomotion::*;
+        match platform {
+            PlatformId::AltspaceVr => FeatureMatrix {
+                platform,
+                company: "Microsoft",
+                released: 2015,
+                locomotion: vec![Walk, Teleport],
+                facial_expression: false,
+                personal_space: true,
+                games: true,
+                share_screen: true,
+                shopping: false,
+                nft: false,
+            },
+            PlatformId::RecRoom => FeatureMatrix {
+                platform,
+                company: "Rec Room",
+                released: 2016,
+                locomotion: vec![Walk, Jump, Teleport],
+                facial_expression: true,
+                personal_space: true,
+                games: true,
+                share_screen: false,
+                shopping: true,
+                nft: true,
+            },
+            PlatformId::VrChat => FeatureMatrix {
+                platform,
+                company: "VRChat",
+                released: 2017,
+                locomotion: vec![Walk, Jump, Teleport],
+                facial_expression: true,
+                personal_space: true,
+                games: true,
+                share_screen: false,
+                shopping: false,
+                nft: false,
+            },
+            PlatformId::Hubs => FeatureMatrix {
+                platform,
+                company: "Mozilla",
+                released: 2018,
+                locomotion: vec![Walk, Fly, Teleport],
+                facial_expression: false,
+                personal_space: false,
+                games: false,
+                share_screen: true,
+                shopping: false,
+                nft: false,
+            },
+            PlatformId::Worlds => FeatureMatrix {
+                platform,
+                company: "Meta",
+                released: 2021,
+                locomotion: vec![Walk, Teleport],
+                facial_expression: true,
+                personal_space: true,
+                games: true,
+                share_screen: false,
+                shopping: false,
+                nft: false,
+            },
+        }
+    }
+
+    /// All five rows in Table 1's order (by release year).
+    pub fn all() -> Vec<FeatureMatrix> {
+        let mut rows: Vec<FeatureMatrix> =
+            PlatformId::ALL.iter().map(|p| FeatureMatrix::of(*p)).collect();
+        rows.sort_by_key(|r| r.released);
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_key_facts() {
+        // Hubs is the only platform without games and without a personal
+        // space boundary (§8.2, §9).
+        let no_games: Vec<PlatformId> = FeatureMatrix::all()
+            .into_iter()
+            .filter(|f| !f.games)
+            .map(|f| f.platform)
+            .collect();
+        assert_eq!(no_games, vec![PlatformId::Hubs]);
+        let no_space: Vec<PlatformId> = FeatureMatrix::all()
+            .into_iter()
+            .filter(|f| !f.personal_space)
+            .map(|f| f.platform)
+            .collect();
+        assert_eq!(no_space, vec![PlatformId::Hubs]);
+        // Rec Room is the only NFT/shopping platform.
+        let nft: Vec<PlatformId> =
+            FeatureMatrix::all().into_iter().filter(|f| f.nft).map(|f| f.platform).collect();
+        assert_eq!(nft, vec![PlatformId::RecRoom]);
+    }
+
+    #[test]
+    fn rows_sorted_by_release_year() {
+        let rows = FeatureMatrix::all();
+        assert_eq!(rows.first().unwrap().platform, PlatformId::AltspaceVr);
+        assert_eq!(rows.last().unwrap().platform, PlatformId::Worlds);
+        for w in rows.windows(2) {
+            assert!(w[0].released <= w[1].released);
+        }
+    }
+
+    #[test]
+    fn facial_expression_platforms() {
+        // Rec Room, VRChat, Worlds have facial expressions; AltspaceVR and
+        // Hubs do not (Table 1 — mirrored by the embodiment profiles).
+        for f in FeatureMatrix::all() {
+            let expected = !matches!(f.platform, PlatformId::AltspaceVr | PlatformId::Hubs);
+            assert_eq!(f.facial_expression, expected, "{:?}", f.platform);
+        }
+    }
+
+    #[test]
+    fn every_platform_can_walk_and_teleport() {
+        for f in FeatureMatrix::all() {
+            assert!(f.locomotion.contains(&Locomotion::Walk));
+            assert!(f.locomotion.contains(&Locomotion::Teleport));
+        }
+        // Only Hubs can fly.
+        assert!(FeatureMatrix::of(PlatformId::Hubs).locomotion.contains(&Locomotion::Fly));
+    }
+}

@@ -1,0 +1,134 @@
+//! In-world game workloads (§8's Arena Clash / Laser Tag / Voxel
+//! Shooting).
+//!
+//! A game raises the data-channel rate (Worlds' shooter reaches
+//! ~1.2 Mbps up / 0.7 Mbps down, §8.1) and — on Worlds — depends on the
+//! TCP control channel for clock synchronisation: the in-game countdown
+//! board stops updating when TCP is delayed, one of the paper's §8.1
+//! observations.
+
+use crate::config::GameTraffic;
+use svr_netsim::{SimDuration, SimRng, SimTime};
+
+/// Client-side state of a running game.
+#[derive(Debug)]
+pub struct GameClient {
+    traffic: GameTraffic,
+    next_tick: SimTime,
+    rng: SimRng,
+    /// When the last server clock sync arrived.
+    pub last_sync: Option<SimTime>,
+    /// Server-authoritative round end, set by clock syncs.
+    pub round_ends_at: Option<SimTime>,
+    /// Game-state updates produced.
+    pub updates_sent: u64,
+}
+
+/// A countdown is considered stale when no sync arrived for this long.
+pub const SYNC_STALE_AFTER: SimDuration = SimDuration::from_secs(15);
+
+impl GameClient {
+    /// Start a game session.
+    pub fn new(traffic: GameTraffic, now: SimTime, seed: u64) -> Self {
+        GameClient {
+            traffic,
+            next_tick: now,
+            rng: SimRng::seed_from_u64(seed ^ 0x47414D45),
+            last_sync: None,
+            round_ends_at: None,
+            updates_sent: 0,
+        }
+    }
+
+    /// The game-state payload due at `now`, if the tick timer fired.
+    pub fn on_tick(&mut self, now: SimTime) -> Option<Vec<u8>> {
+        if now < self.next_tick {
+            return None;
+        }
+        self.next_tick = now + SimDuration::from_secs_f64(1.0 / self.traffic.tick_hz);
+        self.updates_sent += 1;
+        // Synthesised game state: position deltas, shots, hits.
+        let mut body = vec![0u8; self.traffic.bytes_per_tick];
+        for b in body.iter_mut().take(8) {
+            *b = (self.rng.next_u64() & 0xFF) as u8;
+        }
+        Some(body)
+    }
+
+    /// Apply a clock sync from the control channel.
+    pub fn apply_sync(&mut self, now: SimTime, round_ends_at: SimTime) {
+        self.last_sync = Some(now);
+        self.round_ends_at = Some(round_ends_at);
+    }
+
+    /// Whether the countdown board has stopped updating (no sync within
+    /// [`SYNC_STALE_AFTER`]) — the frozen countdown of §8.1.
+    pub fn countdown_stale(&self, now: SimTime) -> bool {
+        match self.last_sync {
+            Some(t) => now.saturating_since(t) > SYNC_STALE_AFTER,
+            None => true,
+        }
+    }
+
+    /// Remaining round time as displayed (extrapolated from the last
+    /// sync; `None` before the first sync).
+    pub fn countdown_remaining(&self, now: SimTime) -> Option<SimDuration> {
+        self.round_ends_at.map(|end| end.saturating_since(now))
+    }
+
+    /// The configured traffic profile.
+    pub fn traffic(&self) -> GameTraffic {
+        self.traffic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traffic() -> GameTraffic {
+        GameTraffic { tick_hz: 60.0, bytes_per_tick: 815, forward_fraction: 0.62 }
+    }
+
+    #[test]
+    fn ticks_at_configured_rate() {
+        let mut g = GameClient::new(traffic(), SimTime::ZERO, 1);
+        let mut count = 0;
+        for ms in 0..1000u64 {
+            if g.on_tick(SimTime::from_millis(ms)).is_some() {
+                count += 1;
+            }
+        }
+        assert!((55..=61).contains(&count), "{count} ticks in 1 s at 60 Hz");
+        assert_eq!(g.updates_sent, count);
+    }
+
+    #[test]
+    fn payload_size_matches_profile() {
+        let mut g = GameClient::new(traffic(), SimTime::ZERO, 1);
+        let body = g.on_tick(SimTime::ZERO).unwrap();
+        assert_eq!(body.len(), 815);
+    }
+
+    #[test]
+    fn countdown_requires_and_tracks_sync() {
+        let mut g = GameClient::new(traffic(), SimTime::ZERO, 1);
+        assert!(g.countdown_stale(SimTime::ZERO));
+        assert_eq!(g.countdown_remaining(SimTime::ZERO), None);
+        g.apply_sync(SimTime::from_secs(1), SimTime::from_secs(61));
+        assert!(!g.countdown_stale(SimTime::from_secs(10)));
+        assert_eq!(
+            g.countdown_remaining(SimTime::from_secs(31)),
+            Some(SimDuration::from_secs(30))
+        );
+        // 15 s without a sync: the board freezes (§8.1).
+        assert!(g.countdown_stale(SimTime::from_secs(17)));
+    }
+
+    #[test]
+    fn deterministic_payloads_per_seed() {
+        let mut a = GameClient::new(traffic(), SimTime::ZERO, 7);
+        let mut b = GameClient::new(traffic(), SimTime::ZERO, 7);
+        assert_eq!(a.on_tick(SimTime::ZERO), b.on_tick(SimTime::ZERO));
+    }
+}

@@ -1,0 +1,36 @@
+//! # svr-platform
+//!
+//! Behavioural models of the five social-VR platforms the paper measures
+//! — AltspaceVR, Horizon Worlds, Mozilla Hubs, Rec Room, and VRChat —
+//! built on the netsim/transport/geo/avatar/client substrates.
+//!
+//! Each platform is a [`config::PlatformConfig`]: which protocols carry
+//! its control and data channels (Table 2), which server pools host them,
+//! the avatar embodiment and tick rate that set its data rate (Table 3),
+//! the client performance profile (Fig. 7/8), the server's forwarding
+//! policy (direct vs AltspaceVR's viewport-adaptive vs the proposed
+//! remote rendering), and platform quirks like Worlds' TCP-over-UDP
+//! priority rule (§8.1) and its periodic clock-sync spikes.
+//!
+//! [`session`] assembles a full testbed — users behind WiFi APs with
+//! capture taps, geo-placed servers — and runs scripted experiments,
+//! producing the captures and client metrics that `svr-core` analyses
+//! exactly the way the paper analysed Wireshark + OVR Metrics data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod autodriver;
+pub mod config;
+pub mod client_app;
+pub mod features;
+pub mod game;
+pub mod server;
+pub mod session;
+pub mod stream;
+
+pub use config::{ChannelKind, DataTransport, PlatformConfig, PlatformId};
+pub use features::{FeatureMatrix, Locomotion};
+pub use autodriver::parse_script;
+pub use server::ForwardPolicy;
+pub use session::{Behavior, SessionConfig, SessionResult, UserMetrics};

@@ -1,0 +1,701 @@
+//! Platform data-channel servers and their forwarding policies.
+//!
+//! §6 identifies "the platform servers' direct forwarding of avatar data
+//! ... without further processing" as the root cause of the scalability
+//! issues, with AltspaceVR's viewport-adaptive variant as the only
+//! optimisation found, and remote rendering (§6.3) as the proposed
+//! architecture. [`DataServer`] implements all three policies over the
+//! same registry, so the scalability experiments compare them on equal
+//! footing.
+
+use crate::config::{DataTransport, PlatformConfig};
+use crate::stream::{StreamChannel, StreamEvent};
+use bytes::Bytes;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use svr_avatar::motion::in_viewport;
+use svr_avatar::skeleton::Vec3;
+use svr_netsim::{Bitrate, NodeId, Packet, SimDuration, SimRng, SimTime};
+use svr_transport::tcp::TcpConfig;
+use svr_transport::udp::{MsgKind, UdpChannel};
+
+/// The server's forwarding policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ForwardPolicy {
+    /// Forward every avatar update to every other user (all platforms
+    /// but AltspaceVR).
+    Direct,
+    /// Forward only updates from avatars inside the receiver's predicted
+    /// viewport (AltspaceVR, ~150° wide, §6.1).
+    ViewportAdaptive {
+        /// Viewport width in degrees.
+        width_deg: f32,
+    },
+    /// The §6.3 proposal: render server-side, stream encoded video to
+    /// each user; downlink is independent of the user count.
+    RemoteRender {
+        /// Per-user video bitrate.
+        bitrate: Bitrate,
+        /// Encoded frame rate.
+        frame_hz: f64,
+    },
+    /// §6.2's further optimisation (Donnybrook-style interest
+    /// management): full update rate for the `focus` nearest avatars,
+    /// a reduced rate for everyone else.
+    InterestManagement {
+        /// Avatars forwarded at full rate (the receiver's focus set).
+        focus: usize,
+        /// Update rate for out-of-focus avatars, Hz.
+        background_hz: f64,
+    },
+}
+
+/// Port the data server listens on.
+pub const DATA_SERVER_PORT: u16 = 7_000;
+
+/// Port the SFU listens on for RTP voice (stream-based platforms).
+pub const VOICE_SERVER_PORT: u16 = 7_001;
+
+/// The client-side RTP voice port for a user.
+pub fn voice_port(user_id: u32) -> u16 {
+    45_000 + user_id as u16
+}
+
+/// Kind byte prefixed to stream messages (mirrors [`MsgKind`]).
+pub fn stream_frame(kind: MsgKind, body: &[u8]) -> Vec<u8> {
+    let kind_byte = match kind {
+        MsgKind::Avatar => 1u8,
+        MsgKind::Voice => 2,
+        MsgKind::Game => 3,
+        MsgKind::KeepAlive => 4,
+        MsgKind::Other => 5,
+    };
+    let mut v = Vec::with_capacity(1 + body.len());
+    v.push(kind_byte);
+    v.extend_from_slice(body);
+    v
+}
+
+/// Split a stream message back into kind and body.
+pub fn parse_stream_frame(msg: &[u8]) -> Option<(MsgKind, &[u8])> {
+    let (&k, body) = msg.split_first()?;
+    let kind = match k {
+        1 => MsgKind::Avatar,
+        2 => MsgKind::Voice,
+        3 => MsgKind::Game,
+        4 => MsgKind::KeepAlive,
+        _ => MsgKind::Other,
+    };
+    Some((kind, body))
+}
+
+enum ServerChannel {
+    Udp(UdpChannel),
+    Stream(Box<StreamChannel>),
+}
+
+struct UserEntry {
+    node: NodeId,
+    chan: ServerChannel,
+    position: Vec3,
+    heading_deg: f32,
+    next_status: SimTime,
+    next_frame: SimTime,
+    /// Last application data (keep-alives do not count).
+    last_data: SimTime,
+    /// Per-sender throttle clock for interest management:
+    /// (sender, earliest next forward).
+    background_next: Vec<(u32, SimTime)>,
+}
+
+/// Counters exposed to the experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Avatar/game messages forwarded to peers.
+    pub forwards: u64,
+    /// Forwards suppressed by the viewport policy.
+    pub viewport_suppressed: u64,
+    /// Messages consumed (status, telemetry, keep-alives).
+    pub consumed: u64,
+    /// Remote-render video frames emitted.
+    pub video_frames: u64,
+    /// Forwards throttled by interest management.
+    pub interest_throttled: u64,
+}
+
+struct PendingForward {
+    due: SimTime,
+    seq: u64,
+    dst_user: u32,
+    kind: MsgKind,
+    body: Bytes,
+}
+
+impl PartialEq for PendingForward {
+    fn eq(&self, o: &Self) -> bool {
+        (self.due, self.seq) == (o.due, o.seq)
+    }
+}
+impl Eq for PendingForward {}
+impl PartialOrd for PendingForward {
+    fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl Ord for PendingForward {
+    fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(o.due, o.seq))
+    }
+}
+
+/// A platform data server.
+pub struct DataServer {
+    /// The network node the server occupies.
+    pub node: NodeId,
+    policy: ForwardPolicy,
+    base_proc: SimDuration,
+    queue_quad_ms: f64,
+    server_status_rate_hz: f64,
+    server_status_bytes: usize,
+    transport: DataTransport,
+    users: BTreeMap<u32, UserEntry>,
+    pending: BinaryHeap<Reverse<PendingForward>>,
+    seq: u64,
+    rng: SimRng,
+    /// Counters.
+    pub stats: ServerStats,
+}
+
+impl DataServer {
+    /// Build the server for a platform.
+    pub fn new(node: NodeId, cfg: &PlatformConfig, seed: u64) -> Self {
+        DataServer {
+            node,
+            policy: cfg.forward_policy,
+            base_proc: cfg.server_base_proc,
+            queue_quad_ms: cfg.server_queue_quad_ms,
+            server_status_rate_hz: cfg.server_status_rate_hz,
+            server_status_bytes: cfg.server_status_bytes,
+            transport: cfg.data_transport,
+            users: BTreeMap::new(),
+            pending: BinaryHeap::new(),
+            seq: 0,
+            rng: SimRng::seed_from_u64(seed ^ 0x5345_5256),
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Register a user connecting over the platform's data transport.
+    pub fn register(&mut self, user_id: u32, node: NodeId, client_port: u16, now: SimTime) {
+        let chan = match self.transport {
+            DataTransport::Udp => ServerChannel::Udp(UdpChannel::new(
+                user_id as u16,
+                DATA_SERVER_PORT,
+                client_port,
+                now,
+            )),
+            DataTransport::TlsStream => ServerChannel::Stream(Box::new(StreamChannel::listen(
+                TcpConfig::default(),
+                DATA_SERVER_PORT,
+                client_port,
+            ))),
+        };
+        self.users.insert(
+            user_id,
+            UserEntry {
+                node,
+                chan,
+                position: Vec3::ZERO,
+                heading_deg: 0.0,
+                next_status: now,
+                next_frame: now,
+                last_data: now,
+                background_next: Vec::new(),
+            },
+        );
+    }
+
+    /// Remove a user (left the event).
+    pub fn unregister(&mut self, user_id: u32) {
+        self.users.remove(&user_id);
+    }
+
+    /// Connected user count.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// The server's modelled processing latency at the current load:
+    /// `base + quad×(N-2)² ms`, with multiplicative jitter.
+    fn proc_delay(&mut self) -> SimDuration {
+        let n = self.users.len() as f64;
+        let queue_ms = self.queue_quad_ms * ((n - 2.0).max(0.0)).powi(2);
+        let total_ms = self.base_proc.as_millis_f64() + queue_ms;
+        let jittered = self.rng.gaussian_at_least(total_ms, total_ms * 0.12, 1.0);
+        SimDuration::from_millis_f64(jittered)
+    }
+
+    fn schedule_forwards(&mut self, now: SimTime, from_user: u32, kind: MsgKind, body: &Bytes) {
+        // Sender's position, for viewport checks.
+        let sender_pos = match self.users.get(&from_user) {
+            Some(u) => u.position,
+            None => return,
+        };
+        let receivers: Vec<u32> = self.users.keys().copied().filter(|u| *u != from_user).collect();
+        for dst in receivers {
+            if let ForwardPolicy::ViewportAdaptive { width_deg } = self.policy {
+                let r = &self.users[&dst];
+                if !in_viewport(r.position, r.heading_deg, width_deg, sender_pos) {
+                    self.stats.viewport_suppressed += 1;
+                    continue;
+                }
+            }
+            if matches!(self.policy, ForwardPolicy::RemoteRender { .. }) {
+                // Rendered server-side; no avatar data goes out.
+                continue;
+            }
+            if let ForwardPolicy::InterestManagement { focus, background_hz } = self.policy {
+                if kind == MsgKind::Avatar && !self.in_focus(dst, from_user, focus) {
+                    let interval = SimDuration::from_secs_f64(1.0 / background_hz.max(0.01));
+                    let entry = self.users.get_mut(&dst).expect("receiver exists");
+                    let slot = entry
+                        .background_next
+                        .iter_mut()
+                        .find(|(s, _)| *s == from_user);
+                    let due = match slot {
+                        Some((_, t)) => t,
+                        None => {
+                            entry.background_next.push((from_user, SimTime::ZERO));
+                            &mut entry.background_next.last_mut().unwrap().1
+                        }
+                    };
+                    if now < *due {
+                        self.stats.interest_throttled += 1;
+                        continue;
+                    }
+                    *due = now + interval;
+                }
+            }
+            let due = now + self.proc_delay();
+            let seq = self.seq;
+            self.seq += 1;
+            self.pending.push(Reverse(PendingForward { due, seq, dst_user: dst, kind, body: body.clone() }));
+        }
+    }
+
+    /// Whether `sender` is among `receiver`'s `focus` nearest avatars.
+    fn in_focus(&self, receiver: u32, sender: u32, focus: usize) -> bool {
+        let Some(r) = self.users.get(&receiver) else { return true };
+        let mut dists: Vec<(u32, f32)> = self
+            .users
+            .iter()
+            .filter(|(id, _)| **id != receiver)
+            .map(|(id, u)| (*id, u.position.distance(r.position)))
+            .collect();
+        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        dists.iter().take(focus).any(|(id, _)| *id == sender)
+    }
+
+    fn handle_msg(&mut self, now: SimTime, from_user: u32, kind: MsgKind, body: Bytes) {
+        if kind != MsgKind::KeepAlive {
+            if let Some(u) = self.users.get_mut(&from_user) {
+                u.last_data = now;
+            }
+        }
+        match kind {
+            MsgKind::Avatar => {
+                // Track the sender's pose for viewport decisions.
+                if let Ok(update) = svr_avatar::codec::decode_update(&body) {
+                    let pos = update.pose.root_position();
+                    let heading = update
+                        .pose
+                        .joint(svr_avatar::Joint::Root)
+                        .or_else(|| update.pose.joint(svr_avatar::Joint::Head))
+                        .map(|jp| {
+                            2.0 * jp.rotation.y.atan2(jp.rotation.w).to_degrees()
+                        })
+                        .unwrap_or(0.0)
+                        .rem_euclid(360.0);
+                    if let Some(u) = self.users.get_mut(&from_user) {
+                        u.position = pos;
+                        u.heading_deg = heading;
+                    }
+                }
+                self.schedule_forwards(now, from_user, kind, &body);
+            }
+            MsgKind::Game | MsgKind::Voice => {
+                self.schedule_forwards(now, from_user, kind, &body);
+            }
+            MsgKind::KeepAlive | MsgKind::Other => {
+                self.stats.consumed += 1;
+            }
+        }
+    }
+
+    /// Process a packet delivered to the server node. Returns packets to
+    /// transmit immediately (stream ACKs, handshakes).
+    pub fn on_packet(&mut self, now: SimTime, pkt: &Packet) -> Vec<(NodeId, Packet)> {
+        let mut out = Vec::new();
+        // RTP voice for stream-based platforms: an SFU relay — forward the
+        // frame verbatim to every other user's voice port (Table 2's
+        // "central routing machine" for Hubs WebRTC).
+        if self.transport == DataTransport::TlsStream
+            && pkt.header.proto == svr_netsim::Proto::Udp
+            && pkt.header.dst_port == VOICE_SERVER_PORT
+        {
+            let from = self
+                .users
+                .iter()
+                .find(|(id, u)| u.node == pkt.src && voice_port(**id) == pkt.header.src_port)
+                .map(|(id, _)| *id);
+            if let Some(from_user) = from {
+                if let Some(u) = self.users.get_mut(&from_user) {
+                    u.last_data = now;
+                }
+                for (id, u) in &self.users {
+                    if *id == from_user {
+                        continue;
+                    }
+                    let mut fwd = pkt.clone();
+                    fwd.header.src_port = VOICE_SERVER_PORT;
+                    fwd.header.dst_port = voice_port(*id);
+                    out.push((u.node, fwd));
+                    self.stats.forwards += 1;
+                }
+            }
+            return out;
+        }
+        // Find the owning user by source node + port.
+        let owner = self.users.iter().find_map(|(id, u)| {
+            if u.node != pkt.src {
+                return None;
+            }
+            match &u.chan {
+                ServerChannel::Udp(c) => (pkt.header.src_port == c.remote_port()).then_some(*id),
+                ServerChannel::Stream(_) => (pkt.header.proto == svr_netsim::Proto::Tcp).then_some(*id),
+            }
+        });
+        let Some(user_id) = owner else { return out };
+        let node = self.users[&user_id].node;
+
+        let mut msgs: Vec<(MsgKind, Bytes)> = Vec::new();
+        match &mut self.users.get_mut(&user_id).unwrap().chan {
+            ServerChannel::Udp(c) => {
+                if let Some(m) = c.on_packet(now, pkt) {
+                    msgs.push((m.kind, m.body));
+                }
+            }
+            ServerChannel::Stream(s) => {
+                let (pkts, events) = s.on_packet(now, pkt);
+                for p in pkts {
+                    out.push((node, p));
+                }
+                for ev in events {
+                    if let StreamEvent::Message(m) = ev {
+                        if let Some((kind, body)) = parse_stream_frame(&m) {
+                            msgs.push((kind, Bytes::copy_from_slice(body)));
+                        }
+                    }
+                }
+            }
+        }
+        for (kind, body) in msgs {
+            self.handle_msg(now, user_id, kind, body);
+        }
+        out
+    }
+
+    fn send_to(
+        entry: &mut UserEntry,
+        now: SimTime,
+        kind: MsgKind,
+        body: &[u8],
+        out: &mut Vec<(NodeId, Packet)>,
+    ) {
+        match &mut entry.chan {
+            ServerChannel::Udp(c) => {
+                if let Some(p) = c.send(kind, now, body) {
+                    out.push((entry.node, p));
+                }
+            }
+            ServerChannel::Stream(s) => {
+                for p in s.send(now, &stream_frame(kind, body)) {
+                    out.push((entry.node, p));
+                }
+            }
+        }
+    }
+
+    /// How long a client may stay silent (no application data) before the
+    /// server drops it from the session (§8.1's server-side teardown).
+    pub const CLIENT_TIMEOUT: SimDuration = SimDuration::from_secs(30);
+
+    /// Drive timers: due forwards, housekeeping, remote-render frames,
+    /// stream retransmissions. Call every few milliseconds.
+    pub fn on_tick(&mut self, now: SimTime) -> Vec<(NodeId, Packet)> {
+        let mut out = Vec::new();
+
+        // Drop silent clients.
+        let stale: Vec<u32> = self
+            .users
+            .iter()
+            .filter(|(_, u)| now.saturating_since(u.last_data) > Self::CLIENT_TIMEOUT)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in stale {
+            self.users.remove(&id);
+        }
+
+        // Due forwards.
+        while let Some(Reverse(head)) = self.pending.peek() {
+            if head.due > now {
+                break;
+            }
+            let Reverse(f) = self.pending.pop().unwrap();
+            if let Some(entry) = self.users.get_mut(&f.dst_user) {
+                Self::send_to(entry, now, f.kind, &f.body, &mut out);
+                self.stats.forwards += 1;
+            }
+        }
+
+        // Housekeeping + remote-render frames.
+        let status_interval = if self.server_status_rate_hz > 0.0 {
+            Some(SimDuration::from_secs_f64(1.0 / self.server_status_rate_hz))
+        } else {
+            None
+        };
+        let render = match self.policy {
+            ForwardPolicy::RemoteRender { bitrate, frame_hz } => {
+                let frame_bytes = (bitrate.as_bps() as f64 / frame_hz / 8.0) as usize;
+                Some((SimDuration::from_secs_f64(1.0 / frame_hz), frame_bytes))
+            }
+            _ => None,
+        };
+        let status_bytes = self.server_status_bytes;
+        let mut video_frames = 0;
+        for entry in self.users.values_mut() {
+            if let Some(interval) = status_interval {
+                if now >= entry.next_status {
+                    entry.next_status = now + interval;
+                    let body = vec![0u8; status_bytes];
+                    Self::send_to(entry, now, MsgKind::Other, &body, &mut out);
+                }
+            }
+            if let Some((interval, frame_bytes)) = render {
+                if now >= entry.next_frame {
+                    entry.next_frame = now + interval;
+                    let body = vec![0u8; frame_bytes];
+                    Self::send_to(entry, now, MsgKind::Other, &body, &mut out);
+                    video_frames += 1;
+                }
+            }
+            // Stream maintenance (retransmits).
+            if let ServerChannel::Stream(s) = &mut entry.chan {
+                if s.next_timer().map(|t| t <= now).unwrap_or(false) {
+                    let (pkts, _) = s.on_tick(now);
+                    for p in pkts {
+                        out.push((entry.node, p));
+                    }
+                }
+            }
+        }
+        self.stats.video_frames += video_frames;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PlatformConfig;
+    use svr_avatar::codec::{encode_update, make_update};
+    use svr_avatar::motion::MotionState;
+    
+
+    fn avatar_body(cfg: &PlatformConfig, seed: u64, pos: Vec3, heading: f32) -> Bytes {
+        let mut m = MotionState::new(seed, pos, heading);
+        let (pose, vel) = m.step(0.05, &cfg.embodiment);
+        encode_update(&make_update(seed as u32, 0, &cfg.embodiment, pose, vel))
+    }
+
+    fn udp_avatar_packet(
+        client: &mut UdpChannel,
+        now: SimTime,
+        body: &Bytes,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Packet {
+        let mut p = client.send(MsgKind::Avatar, now, body).unwrap();
+        p.src = src;
+        p.dst = dst;
+        p
+    }
+
+    fn node(i: u32) -> NodeId {
+        // NodeId construction via a tiny helper network.
+        let mut net = svr_netsim::Network::new(0);
+        let mut last = None;
+        for k in 0..=i {
+            last = Some(net.add_node(format!("n{k}"), svr_netsim::NodeKind::Headset));
+        }
+        last.unwrap()
+    }
+
+    #[test]
+    fn direct_policy_forwards_to_all_others() {
+        let cfg = PlatformConfig::vrchat();
+        let snode = node(9);
+        let mut server = DataServer::new(snode, &cfg, 1);
+        let mut clients: Vec<UdpChannel> = (0..3)
+            .map(|i| {
+                server.register(i, node(i), 40_000 + i as u16, SimTime::ZERO);
+                UdpChannel::new(i as u16, 40_000 + i as u16, DATA_SERVER_PORT, SimTime::ZERO)
+            })
+            .collect();
+        let body = avatar_body(&cfg, 0, Vec3::ZERO, 0.0);
+        let pkt = udp_avatar_packet(&mut clients[0], SimTime::from_millis(10), &body, node(0), snode);
+        server.on_packet(SimTime::from_millis(10), &pkt);
+        // Forwards are delayed by server processing (~30 ms + queue);
+        // only housekeeping status may go out immediately.
+        let early = server.on_tick(SimTime::from_millis(11));
+        assert!(early.iter().all(|(_, p)| p.payload.len() < 100), "no early forwards");
+        let sent = server.on_tick(SimTime::from_millis(200));
+        let forwards: Vec<_> = sent
+            .iter()
+            .filter(|(_, p)| p.payload.len() > 50) // avatar bodies, not status
+            .collect();
+        assert_eq!(forwards.len(), 2, "one forward per other user");
+        assert_eq!(server.stats.forwards, 2);
+    }
+
+    #[test]
+    fn server_processing_latency_matches_config() {
+        let cfg = PlatformConfig::recroom();
+        let snode = node(9);
+        let mut server = DataServer::new(snode, &cfg, 2);
+        server.register(0, node(0), 40_000, SimTime::ZERO);
+        server.register(1, node(1), 40_001, SimTime::ZERO);
+        let mut c0 = UdpChannel::new(0, 40_000, DATA_SERVER_PORT, SimTime::ZERO);
+        let body = avatar_body(&cfg, 0, Vec3::ZERO, 0.0);
+        let pkt = udp_avatar_packet(&mut c0, SimTime::ZERO, &body, node(0), snode);
+        server.on_packet(SimTime::ZERO, &pkt);
+        // No forward before ~base_proc; exactly one within 2× base.
+        let base = cfg.server_base_proc.as_millis();
+        let early = server.on_tick(SimTime::from_millis(base / 2));
+        assert!(early.iter().all(|(_, p)| p.payload.len() < 100), "no early forwards");
+        let sent = server.on_tick(SimTime::from_millis(base * 2));
+        let forwards: Vec<_> = sent.iter().filter(|(_, p)| p.payload.len() > 100).collect();
+        assert_eq!(forwards.len(), 1);
+    }
+
+    #[test]
+    fn viewport_policy_suppresses_behind_receiver() {
+        let cfg = PlatformConfig::altspace();
+        let snode = node(9);
+        let mut server = DataServer::new(snode, &cfg, 3);
+        server.register(0, node(0), 40_000, SimTime::ZERO);
+        server.register(1, node(1), 40_001, SimTime::ZERO);
+        let mut c0 = UdpChannel::new(0, 40_000, DATA_SERVER_PORT, SimTime::ZERO);
+        let mut c1 = UdpChannel::new(1, 40_001, DATA_SERVER_PORT, SimTime::ZERO);
+
+        // User 1 stands at origin facing +Z (heading 0); user 0 is BEHIND
+        // user 1 (at -Z).
+        let b1 = avatar_body(&cfg, 1, Vec3::ZERO, 0.0);
+        let p1 = udp_avatar_packet(&mut c1, SimTime::ZERO, &b1, node(1), snode);
+        server.on_packet(SimTime::ZERO, &p1);
+        server.on_tick(SimTime::from_secs(1)); // flush
+
+        let before = server.stats.viewport_suppressed;
+        let b0 = avatar_body(&cfg, 0, Vec3::new(0.0, 0.0, -5.0), 180.0);
+        let p0 = udp_avatar_packet(&mut c0, SimTime::from_secs(1), &b0, node(0), snode);
+        server.on_packet(SimTime::from_secs(1), &p0);
+        server.on_tick(SimTime::from_secs(2));
+        assert_eq!(server.stats.viewport_suppressed, before + 1, "0 is outside 1's viewport");
+
+        // User 0 in FRONT of user 1: forwarded.
+        let before_fwd = server.stats.forwards;
+        let b0 = avatar_body(&cfg, 0, Vec3::new(0.0, 0.0, 5.0), 180.0);
+        let p0 = udp_avatar_packet(&mut c0, SimTime::from_secs(2), &b0, node(0), snode);
+        server.on_packet(SimTime::from_secs(2), &p0);
+        server.on_tick(SimTime::from_secs(3));
+        assert!(server.stats.forwards > before_fwd);
+    }
+
+    #[test]
+    fn remote_render_emits_constant_rate_video_instead_of_forwards() {
+        let mut cfg = PlatformConfig::vrchat();
+        cfg.forward_policy = ForwardPolicy::RemoteRender {
+            bitrate: Bitrate::from_mbps(8),
+            frame_hz: 60.0,
+        };
+        let snode = node(9);
+        let mut server = DataServer::new(snode, &cfg, 4);
+        for i in 0..5u32 {
+            server.register(i, node(i), 40_000 + i as u16, SimTime::ZERO);
+        }
+        let mut c0 = UdpChannel::new(0, 40_000, DATA_SERVER_PORT, SimTime::ZERO);
+        let body = avatar_body(&cfg, 0, Vec3::ZERO, 0.0);
+        let pkt = udp_avatar_packet(&mut c0, SimTime::from_millis(5), &body, node(0), snode);
+        server.on_packet(SimTime::from_millis(5), &pkt);
+        // Drive one second of ticks.
+        let mut video_bytes_per_user = std::collections::HashMap::new();
+        for ms in 0..1000u64 {
+            for (n, p) in server.on_tick(SimTime::from_millis(ms)) {
+                *video_bytes_per_user.entry(n).or_insert(0u64) += p.payload.len() as u64;
+            }
+        }
+        assert_eq!(server.stats.forwards, 0, "no avatar forwards");
+        assert_eq!(video_bytes_per_user.len(), 5, "every user gets a stream");
+        for (_, bytes) in video_bytes_per_user {
+            let mbps = bytes as f64 * 8.0 / 1e6;
+            assert!((mbps - 8.0).abs() < 1.0, "video ≈ 8 Mbps, got {mbps}");
+        }
+    }
+
+    #[test]
+    fn unknown_source_ignored() {
+        let cfg = PlatformConfig::vrchat();
+        let mut server = DataServer::new(node(9), &cfg, 5);
+        server.register(0, node(0), 40_000, SimTime::ZERO);
+        let mut foreign = UdpChannel::new(7, 41_000, DATA_SERVER_PORT, SimTime::ZERO);
+        let body = avatar_body(&cfg, 7, Vec3::ZERO, 0.0);
+        let pkt = udp_avatar_packet(&mut foreign, SimTime::ZERO, &body, node(5), node(9));
+        assert!(server.on_packet(SimTime::ZERO, &pkt).is_empty());
+        // Only housekeeping may appear; no forwards of the foreign data.
+        let sent = server.on_tick(SimTime::from_secs(1));
+        assert!(sent.iter().all(|(_, p)| p.payload.len() < 100));
+        assert_eq!(server.stats.forwards, 0);
+    }
+
+    #[test]
+    fn queue_latency_grows_quadratically_with_users() {
+        let cfg = PlatformConfig::hubs();
+        let mut s2 = DataServer::new(node(9), &cfg, 6);
+        let mut s7 = DataServer::new(node(9), &cfg, 6);
+        for i in 0..2 {
+            s2.register(i, node(i), 40_000 + i as u16, SimTime::ZERO);
+        }
+        for i in 0..7 {
+            s7.register(i, node(i), 40_000 + i as u16, SimTime::ZERO);
+        }
+        let d2: f64 = (0..200).map(|_| s2.proc_delay().as_millis_f64()).sum::<f64>() / 200.0;
+        let d7: f64 = (0..200).map(|_| s7.proc_delay().as_millis_f64()).sum::<f64>() / 200.0;
+        let expected_extra = cfg.server_queue_quad_ms * 25.0;
+        assert!(
+            ((d7 - d2) - expected_extra).abs() < expected_extra * 0.4,
+            "Δ {} vs expected {expected_extra}",
+            d7 - d2
+        );
+    }
+
+    #[test]
+    fn stream_frame_roundtrip() {
+        for kind in [MsgKind::Avatar, MsgKind::Game, MsgKind::Voice, MsgKind::KeepAlive] {
+            let framed = stream_frame(kind, b"body");
+            let (k, b) = parse_stream_frame(&framed).unwrap();
+            assert_eq!(k, kind);
+            assert_eq!(b, b"body");
+        }
+        assert!(parse_stream_frame(&[]).is_none());
+    }
+}

@@ -1,0 +1,305 @@
+//! ICMP and TCP-SYN echo measurement (§4.2).
+//!
+//! The paper estimates RTTs between the WiFi APs and platform servers
+//! with ICMP pings, falling back to TCP pings where ICMP is blocked.
+//! [`Pinger`] issues sequenced probes, matches replies, and accumulates
+//! the mean/standard-deviation statistics reported in Table 2;
+//! [`PingResponder`] plays the server side.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use svr_netsim::{Packet, Proto, SimDuration, SimTime, TcpFlags, TransportHeader};
+
+/// Which probe flavour to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PingKind {
+    /// ICMP echo request/reply.
+    Icmp,
+    /// TCP SYN → SYN-ACK (used when ICMP is filtered).
+    TcpSyn,
+}
+
+/// Accumulated RTT statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PingStats {
+    samples: Vec<f64>,
+}
+
+impl PingStats {
+    /// Record one RTT sample.
+    pub fn push(&mut self, rtt: SimDuration) {
+        self.samples.push(rtt.as_millis_f64());
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Mean RTT in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Sample standard deviation in milliseconds.
+    pub fn std_ms(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let m = self.mean_ms();
+        (self.samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (n - 1) as f64).sqrt()
+    }
+
+    /// Minimum RTT in milliseconds.
+    pub fn min_ms(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// The raw per-probe samples in milliseconds.
+    pub fn samples_ms(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+const ECHO_MAGIC: &[u8; 4] = b"ECHO";
+const REPLY_MAGIC: &[u8; 4] = b"RPLY";
+
+/// Client side: issues probes and matches replies.
+#[derive(Debug)]
+pub struct Pinger {
+    kind: PingKind,
+    local_port: u16,
+    remote_port: u16,
+    next_seq: u32,
+    outstanding: Vec<(u32, SimTime)>,
+    /// Collected RTT statistics.
+    pub stats: PingStats,
+}
+
+impl Pinger {
+    /// Create a pinger.
+    pub fn new(kind: PingKind, local_port: u16, remote_port: u16) -> Self {
+        Pinger {
+            kind,
+            local_port,
+            remote_port,
+            next_seq: 0,
+            outstanding: Vec::new(),
+            stats: PingStats::default(),
+        }
+    }
+
+    /// Build the next probe packet.
+    pub fn probe(&mut self, now: SimTime) -> Packet {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.outstanding.push((seq, now));
+        match self.kind {
+            PingKind::Icmp => {
+                let mut body = BytesMut::with_capacity(12);
+                body.put_slice(ECHO_MAGIC);
+                body.put_u32(seq);
+                body.put_u32(0); // padding to a typical 56-byte echo would go here
+                let mut hdr = TransportHeader::datagram(Proto::Icmp, 0, 0);
+                hdr.seq = seq;
+                Packet::new(hdr, body.freeze())
+            }
+            PingKind::TcpSyn => {
+                let hdr = TransportHeader::tcp(self.local_port, self.remote_port, seq, 0, TcpFlags::SYN);
+                Packet::new(hdr, Bytes::new())
+            }
+        }
+    }
+
+    /// Try to match a reply; records the RTT if it corresponds to an
+    /// outstanding probe.
+    pub fn on_packet(&mut self, now: SimTime, pkt: &Packet) -> bool {
+        let seq = match self.kind {
+            PingKind::Icmp => {
+                if pkt.header.proto != Proto::Icmp || pkt.payload.len() < 8 {
+                    return false;
+                }
+                if &pkt.payload[..4] != REPLY_MAGIC {
+                    return false;
+                }
+                u32::from_be_bytes([pkt.payload[4], pkt.payload[5], pkt.payload[6], pkt.payload[7]])
+            }
+            PingKind::TcpSyn => {
+                if pkt.header.proto != Proto::Tcp
+                    || !(pkt.header.flags.syn && pkt.header.flags.ack)
+                    || pkt.header.dst_port != self.local_port
+                {
+                    return false;
+                }
+                pkt.header.ack.wrapping_sub(1)
+            }
+        };
+        if let Some(pos) = self.outstanding.iter().position(|(s, _)| *s == seq) {
+            let (_, sent) = self.outstanding.swap_remove(pos);
+            self.stats.push(now.saturating_since(sent));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Probes never answered.
+    pub fn unanswered(&self) -> usize {
+        self.outstanding.len()
+    }
+}
+
+/// Server side: answers ICMP echoes and TCP SYN probes.
+#[derive(Debug, Default)]
+pub struct PingResponder {
+    /// Probes answered.
+    pub answered: u64,
+    /// If true, ICMP echoes are dropped (the "ICMP blocked" servers of
+    /// §4.2, which force the TCP fallback).
+    pub block_icmp: bool,
+}
+
+impl PingResponder {
+    /// Create a responder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a responder that filters ICMP.
+    pub fn icmp_blocked() -> Self {
+        PingResponder { answered: 0, block_icmp: true }
+    }
+
+    /// Produce the reply for a probe, if it is one we answer.
+    pub fn on_packet(&mut self, pkt: &Packet) -> Option<Packet> {
+        match pkt.header.proto {
+            Proto::Icmp => {
+                if self.block_icmp || pkt.payload.len() < 8 || &pkt.payload[..4] != ECHO_MAGIC {
+                    return None;
+                }
+                self.answered += 1;
+                let mut body = BytesMut::with_capacity(8);
+                body.put_slice(REPLY_MAGIC);
+                body.put_slice(&pkt.payload[4..8]);
+                let mut hdr = TransportHeader::datagram(Proto::Icmp, 0, 0);
+                hdr.seq = pkt.header.seq;
+                Some(Packet::new(hdr, body.freeze()))
+            }
+            Proto::Tcp if pkt.header.flags.syn && !pkt.header.flags.ack => {
+                self.answered += 1;
+                let hdr = TransportHeader::tcp(
+                    pkt.header.dst_port,
+                    pkt.header.src_port,
+                    0,
+                    pkt.header.seq.wrapping_add(1),
+                    TcpFlags::SYN_ACK,
+                );
+                Some(Packet::new(hdr, Bytes::new()))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn icmp_probe_reply_measures_rtt() {
+        let mut pinger = Pinger::new(PingKind::Icmp, 0, 0);
+        let mut responder = PingResponder::new();
+        let probe = pinger.probe(SimTime::from_millis(100));
+        let reply = responder.on_packet(&probe).expect("echo answered");
+        assert!(pinger.on_packet(SimTime::from_millis(172), &reply));
+        assert_eq!(pinger.stats.count(), 1);
+        assert!((pinger.stats.mean_ms() - 72.0).abs() < 1e-9);
+        assert_eq!(pinger.unanswered(), 0);
+    }
+
+    #[test]
+    fn tcp_syn_fallback_works() {
+        let mut pinger = Pinger::new(PingKind::TcpSyn, 40_000, 443);
+        let mut responder = PingResponder::icmp_blocked();
+        let probe = pinger.probe(SimTime::ZERO);
+        assert_eq!(probe.header.proto, Proto::Tcp);
+        let reply = responder.on_packet(&probe).expect("SYN answered");
+        assert!(reply.header.flags.syn && reply.header.flags.ack);
+        assert!(pinger.on_packet(SimTime::from_millis(3), &reply));
+        assert!((pinger.stats.mean_ms() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocked_icmp_is_not_answered() {
+        let mut pinger = Pinger::new(PingKind::Icmp, 0, 0);
+        let mut responder = PingResponder::icmp_blocked();
+        let probe = pinger.probe(SimTime::ZERO);
+        assert!(responder.on_packet(&probe).is_none());
+        assert_eq!(pinger.unanswered(), 1);
+    }
+
+    #[test]
+    fn mismatched_reply_ignored() {
+        let mut pinger = Pinger::new(PingKind::Icmp, 0, 0);
+        let _ = pinger.probe(SimTime::ZERO);
+        // Forged reply for a sequence never probed.
+        let mut body = BytesMut::new();
+        body.put_slice(REPLY_MAGIC);
+        body.put_u32(999);
+        let forged = Packet::new(TransportHeader::datagram(Proto::Icmp, 0, 0), body.freeze());
+        assert!(!pinger.on_packet(SimTime::from_millis(1), &forged));
+        assert_eq!(pinger.stats.count(), 0);
+    }
+
+    #[test]
+    fn duplicate_reply_counted_once() {
+        let mut pinger = Pinger::new(PingKind::Icmp, 0, 0);
+        let mut responder = PingResponder::new();
+        let probe = pinger.probe(SimTime::ZERO);
+        let reply = responder.on_packet(&probe).unwrap();
+        assert!(pinger.on_packet(SimTime::from_millis(5), &reply));
+        assert!(!pinger.on_packet(SimTime::from_millis(6), &reply));
+        assert_eq!(pinger.stats.count(), 1);
+    }
+
+    #[test]
+    fn stats_mean_and_std() {
+        let mut s = PingStats::default();
+        for ms in [70, 72, 74] {
+            s.push(SimDuration::from_millis(ms));
+        }
+        assert!((s.mean_ms() - 72.0).abs() < 1e-9);
+        assert!((s.std_ms() - 2.0).abs() < 1e-9);
+        assert!((s.min_ms() - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = PingStats::default();
+        assert_eq!(s.mean_ms(), 0.0);
+        assert_eq!(s.std_ms(), 0.0);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn many_probes_interleaved() {
+        let mut pinger = Pinger::new(PingKind::Icmp, 0, 0);
+        let mut responder = PingResponder::new();
+        let mut replies = Vec::new();
+        for i in 0..20u64 {
+            let p = pinger.probe(SimTime::from_millis(i * 1000));
+            replies.push((i, responder.on_packet(&p).unwrap()));
+        }
+        // Answer out of order.
+        replies.reverse();
+        for (i, r) in replies {
+            assert!(pinger.on_packet(SimTime::from_millis(i * 1000 + 10), &r));
+        }
+        assert_eq!(pinger.stats.count(), 20);
+        assert!((pinger.stats.mean_ms() - 10.0).abs() < 1e-9);
+        assert_eq!(pinger.unanswered(), 0);
+    }
+}

@@ -1,0 +1,389 @@
+//! RTP/RTCP — the WebRTC media path of Mozilla Hubs.
+//!
+//! Hubs delivers voice over WebRTC (Table 2), i.e. RTP media packets plus
+//! periodic RTCP sender/receiver reports. The paper could not ping Hubs'
+//! data-channel server and instead read the RTT from Chrome's WebRTC
+//! internals — which is derived from the RTCP LSR/DLSR exchange
+//! implemented here (RFC 3550 §6.4). We reproduce that: the sender's
+//! report carries a timestamp, the receiver echoes it with its holding
+//! delay, and the sender recovers `RTT = now - LSR - DLSR`.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use svr_netsim::{Packet, Proto, SimDuration, SimTime, TransportHeader};
+
+/// RTP fixed header length.
+pub const RTP_HEADER_LEN: usize = 12;
+/// Payload type we use for Opus-like voice frames.
+pub const PT_VOICE: u8 = 111;
+
+const RTCP_SR: u8 = 200;
+const RTCP_RR: u8 = 201;
+
+/// A parsed RTCP report (sender or receiver).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RtcpReport {
+    /// Report kind: 200 = sender report, 201 = receiver report.
+    pub kind: u8,
+    /// Synchronisation source of the reporter.
+    pub ssrc: u32,
+    /// SR: the sender's clock at send time (µs). RR: echoed LSR.
+    pub timestamp_us: u64,
+    /// RR only: delay since receiving the last SR (µs).
+    pub dlsr_us: u64,
+    /// RR only: fraction of packets lost since the previous report (0-255).
+    pub fraction_lost: u8,
+}
+
+/// RTP media sender with RTCP sender reports.
+#[derive(Debug)]
+pub struct RtpSender {
+    ssrc: u32,
+    local_port: u16,
+    remote_port: u16,
+    seq: u16,
+    rtp_timestamp: u32,
+    /// Samples-per-packet advance of the RTP timestamp (e.g. 960 for 20 ms
+    /// of 48 kHz Opus).
+    pub timestamp_step: u32,
+    sr_interval: SimDuration,
+    last_sr: SimTime,
+    /// Media packets sent.
+    pub packets_sent: u64,
+    /// RTT estimates recovered from receiver reports.
+    pub rtt_samples: Vec<SimDuration>,
+}
+
+impl RtpSender {
+    /// Create a sender.
+    pub fn new(ssrc: u32, local_port: u16, remote_port: u16) -> Self {
+        RtpSender {
+            ssrc,
+            local_port,
+            remote_port,
+            seq: 0,
+            rtp_timestamp: 0,
+            timestamp_step: 960,
+            sr_interval: SimDuration::from_secs(5),
+            last_sr: SimTime::ZERO,
+            packets_sent: 0,
+            rtt_samples: Vec::new(),
+        }
+    }
+
+    /// Build a media packet carrying one voice frame.
+    pub fn media(&mut self, frame: &[u8]) -> Packet {
+        let mut buf = BytesMut::with_capacity(RTP_HEADER_LEN + frame.len());
+        buf.put_u8(0x80); // V=2, no padding/extension/CSRC
+        buf.put_u8(PT_VOICE);
+        buf.put_u16(self.seq);
+        buf.put_u32(self.rtp_timestamp);
+        buf.put_u32(self.ssrc);
+        buf.extend_from_slice(frame);
+        self.seq = self.seq.wrapping_add(1);
+        self.rtp_timestamp = self.rtp_timestamp.wrapping_add(self.timestamp_step);
+        self.packets_sent += 1;
+        let hdr = TransportHeader::datagram(Proto::Udp, self.local_port, self.remote_port);
+        Packet::new(hdr, buf.freeze())
+    }
+
+    /// Emit a sender report when due.
+    pub fn on_tick(&mut self, now: SimTime) -> Option<Packet> {
+        if now.saturating_since(self.last_sr) < self.sr_interval {
+            return None;
+        }
+        self.last_sr = now;
+        let mut buf = BytesMut::with_capacity(20);
+        buf.put_u8(0x80);
+        buf.put_u8(RTCP_SR);
+        buf.put_u32(self.ssrc);
+        buf.put_u64(now.as_micros());
+        buf.put_u64(0);
+        buf.put_u8(0);
+        let hdr = TransportHeader::datagram(Proto::Udp, self.local_port, self.remote_port);
+        Some(Packet::new(hdr, buf.freeze()))
+    }
+
+    /// Process a receiver report; recovers the RTT.
+    pub fn on_rtcp(&mut self, now: SimTime, report: &RtcpReport) {
+        if report.kind != RTCP_RR {
+            return;
+        }
+        let lsr = SimTime::from_micros(report.timestamp_us);
+        let rtt = now
+            .saturating_since(lsr)
+            .saturating_sub(SimDuration::from_micros(report.dlsr_us));
+        self.rtt_samples.push(rtt);
+    }
+
+    /// Mean of the recovered RTT samples in milliseconds.
+    pub fn mean_rtt_ms(&self) -> f64 {
+        if self.rtt_samples.is_empty() {
+            return 0.0;
+        }
+        self.rtt_samples.iter().map(|d| d.as_millis_f64()).sum::<f64>()
+            / self.rtt_samples.len() as f64
+    }
+}
+
+/// RTP media receiver with RTCP receiver reports.
+#[derive(Debug)]
+pub struct RtpReceiver {
+    ssrc: u32,
+    local_port: u16,
+    remote_port: u16,
+    highest_seq: Option<u16>,
+    /// Media packets received.
+    pub packets_received: u64,
+    /// Estimated losses from sequence gaps.
+    pub packets_lost: u64,
+    lost_since_report: u64,
+    expected_since_report: u64,
+    /// Interarrival jitter estimate (RFC 3550 A.8), in timestamp units.
+    pub jitter: f64,
+    last_transit_us: Option<i64>,
+    last_sr: Option<(SimTime, u64)>, // (received_at, sr timestamp)
+}
+
+impl RtpReceiver {
+    /// Create a receiver.
+    pub fn new(ssrc: u32, local_port: u16, remote_port: u16) -> Self {
+        RtpReceiver {
+            ssrc,
+            local_port,
+            remote_port,
+            highest_seq: None,
+            packets_received: 0,
+            packets_lost: 0,
+            lost_since_report: 0,
+            expected_since_report: 0,
+            jitter: 0.0,
+            last_transit_us: None,
+            last_sr: None,
+        }
+    }
+
+    /// Process an incoming packet. Returns the voice frame for media
+    /// packets, `None` for RTCP or foreign traffic. RTCP receiver reports
+    /// to send back are produced by [`RtpReceiver::report`].
+    pub fn on_packet(&mut self, now: SimTime, pkt: &Packet) -> Option<Bytes> {
+        if pkt.header.proto != Proto::Udp || pkt.header.dst_port != self.local_port {
+            return None;
+        }
+        let p = &pkt.payload;
+        if p.len() < 2 {
+            return None;
+        }
+        match p[1] {
+            RTCP_SR if p.len() >= 14 => {
+                let ts = u64::from_be_bytes([p[6], p[7], p[8], p[9], p[10], p[11], p[12], p[13]]);
+                self.last_sr = Some((now, ts));
+                None
+            }
+            PT_VOICE if p.len() >= RTP_HEADER_LEN => {
+                let seq = u16::from_be_bytes([p[2], p[3]]);
+                let rtp_ts = u32::from_be_bytes([p[4], p[5], p[6], p[7]]);
+                self.track_seq(seq);
+                self.track_jitter(now, rtp_ts);
+                self.packets_received += 1;
+                self.expected_since_report += 1;
+                Some(pkt.payload.slice(RTP_HEADER_LEN..))
+            }
+            _ => None,
+        }
+    }
+
+    fn track_seq(&mut self, seq: u16) {
+        match self.highest_seq {
+            None => self.highest_seq = Some(seq),
+            Some(h) => {
+                let delta = seq.wrapping_sub(h);
+                if delta > 0 && delta < 0x8000 {
+                    let gap = (delta - 1) as u64;
+                    self.packets_lost += gap;
+                    self.lost_since_report += gap;
+                    self.expected_since_report += gap;
+                    self.highest_seq = Some(seq);
+                }
+            }
+        }
+    }
+
+    fn track_jitter(&mut self, now: SimTime, rtp_ts: u32) {
+        // Transit time in µs assuming 48 kHz timestamp units.
+        let ts_us = (rtp_ts as i64) * 1_000_000 / 48_000;
+        let transit = now.as_micros() as i64 - ts_us;
+        if let Some(prev) = self.last_transit_us {
+            let d = (transit - prev).abs() as f64;
+            self.jitter += (d - self.jitter) / 16.0;
+        }
+        self.last_transit_us = Some(transit);
+    }
+
+    /// Build a receiver report (call every few seconds).
+    pub fn report(&mut self, now: SimTime) -> Packet {
+        let fraction = (self.lost_since_report * 256)
+            .checked_div(self.expected_since_report)
+            .unwrap_or(0)
+            .min(255) as u8;
+        let (lsr, dlsr) = match self.last_sr {
+            Some((recv_at, sr_ts)) => (sr_ts, now.saturating_since(recv_at).as_micros()),
+            None => (0, 0),
+        };
+        self.lost_since_report = 0;
+        self.expected_since_report = 0;
+        let mut buf = BytesMut::with_capacity(30);
+        buf.put_u8(0x80);
+        buf.put_u8(RTCP_RR);
+        buf.put_u32(self.ssrc);
+        buf.put_u64(lsr);
+        buf.put_u64(dlsr);
+        buf.put_u8(fraction);
+        let hdr = TransportHeader::datagram(Proto::Udp, self.local_port, self.remote_port);
+        Packet::new(hdr, buf.freeze())
+    }
+}
+
+/// Parse an RTCP packet payload into a report.
+pub fn parse_rtcp(payload: &[u8]) -> Option<RtcpReport> {
+    if payload.len() < 14 {
+        return None;
+    }
+    let kind = payload[1];
+    if kind != RTCP_SR && kind != RTCP_RR {
+        return None;
+    }
+    let ssrc = u32::from_be_bytes([payload[2], payload[3], payload[4], payload[5]]);
+    let timestamp_us = u64::from_be_bytes([
+        payload[6], payload[7], payload[8], payload[9], payload[10], payload[11], payload[12],
+        payload[13],
+    ]);
+    let (dlsr_us, fraction_lost) = if kind == RTCP_RR && payload.len() >= 23 {
+        (
+            u64::from_be_bytes([
+                payload[14], payload[15], payload[16], payload[17], payload[18], payload[19],
+                payload[20], payload[21],
+            ]),
+            payload[22],
+        )
+    } else {
+        (0, 0)
+    };
+    Some(RtcpReport { kind, ssrc, timestamp_us, dlsr_us, fraction_lost })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn media_roundtrip() {
+        let mut tx = RtpSender::new(0xAABB, 7000, 8000);
+        let mut rx = RtpReceiver::new(0xCCDD, 8000, 7000);
+        let pkt = tx.media(b"opus-frame-bytes");
+        let frame = rx.on_packet(SimTime::from_millis(40), &pkt).expect("media");
+        assert_eq!(frame.as_ref(), b"opus-frame-bytes");
+        assert_eq!(rx.packets_received, 1);
+    }
+
+    #[test]
+    fn sequence_and_timestamp_advance() {
+        let mut tx = RtpSender::new(1, 7000, 8000);
+        let p0 = tx.media(b"a");
+        let p1 = tx.media(b"b");
+        let s0 = u16::from_be_bytes([p0.payload[2], p0.payload[3]]);
+        let s1 = u16::from_be_bytes([p1.payload[2], p1.payload[3]]);
+        assert_eq!(s1, s0.wrapping_add(1));
+        let t0 = u32::from_be_bytes([p0.payload[4], p0.payload[5], p0.payload[6], p0.payload[7]]);
+        let t1 = u32::from_be_bytes([p1.payload[4], p1.payload[5], p1.payload[6], p1.payload[7]]);
+        assert_eq!(t1 - t0, 960);
+    }
+
+    #[test]
+    fn loss_detected_from_gaps() {
+        let mut tx = RtpSender::new(1, 7000, 8000);
+        let mut rx = RtpReceiver::new(2, 8000, 7000);
+        let p0 = tx.media(b"0");
+        let _p1 = tx.media(b"1"); // lost
+        let p2 = tx.media(b"2");
+        rx.on_packet(SimTime::from_millis(0), &p0);
+        rx.on_packet(SimTime::from_millis(40), &p2);
+        assert_eq!(rx.packets_lost, 1);
+    }
+
+    #[test]
+    fn rtcp_rtt_estimation() {
+        // The §4.2 method: SR at t, RR echoing it after a holding delay,
+        // RTT recovered at the sender.
+        let mut tx = RtpSender::new(1, 7000, 8000);
+        let mut rx = RtpReceiver::new(2, 8000, 7000);
+        let sr = tx.on_tick(SimTime::from_secs(5)).expect("SR due");
+        // SR takes 37 ms to reach the receiver.
+        rx.on_packet(SimTime::from_micros(5_037_000), &sr);
+        // Receiver holds the report for 500 ms.
+        let rr = rx.report(SimTime::from_micros(5_537_000));
+        let report = parse_rtcp(&rr.payload).expect("parse RR");
+        // RR takes 36.5 ms back; sender receives at 5.5735 s.
+        tx.on_rtcp(SimTime::from_micros(5_573_500), &report);
+        assert_eq!(tx.rtt_samples.len(), 1);
+        let rtt_ms = tx.mean_rtt_ms();
+        assert!((rtt_ms - 73.5).abs() < 0.1, "rtt {rtt_ms} ≈ 73.5 ms (Table 2 Hubs)");
+    }
+
+    #[test]
+    fn sr_interval_respected() {
+        let mut tx = RtpSender::new(1, 7000, 8000);
+        assert!(tx.on_tick(SimTime::from_secs(5)).is_some());
+        assert!(tx.on_tick(SimTime::from_secs(6)).is_none());
+        assert!(tx.on_tick(SimTime::from_secs(10)).is_some());
+    }
+
+    #[test]
+    fn fraction_lost_reported() {
+        let mut tx = RtpSender::new(1, 7000, 8000);
+        let mut rx = RtpReceiver::new(2, 8000, 7000);
+        let mut pkts: Vec<Packet> = (0..10).map(|i| tx.media(&[i as u8])).collect();
+        // Drop half.
+        let kept: Vec<Packet> = pkts.drain(..).enumerate().filter(|(i, _)| i % 2 == 0).map(|(_, p)| p).collect();
+        for p in &kept {
+            rx.on_packet(SimTime::ZERO, p);
+        }
+        let rr = rx.report(SimTime::from_secs(1));
+        let report = parse_rtcp(&rr.payload).unwrap();
+        // 4 of 9 expected-after-first lost → fraction ≈ 4*256/9 ≈ 113.
+        assert!(report.fraction_lost > 90 && report.fraction_lost < 130);
+        // Counter resets after the report.
+        let rr2 = rx.report(SimTime::from_secs(2));
+        assert_eq!(parse_rtcp(&rr2.payload).unwrap().fraction_lost, 0);
+    }
+
+    #[test]
+    fn jitter_grows_with_variable_delay() {
+        let mut tx = RtpSender::new(1, 7000, 8000);
+        let mut rx = RtpReceiver::new(2, 8000, 7000);
+        // Packets sent every 20 ms of media time but delivered with
+        // alternating 0/15 ms extra delay.
+        for i in 0..50u64 {
+            let p = tx.media(b"f");
+            let extra = if i % 2 == 0 { 0 } else { 15 };
+            rx.on_packet(SimTime::from_millis(i * 20 + extra), &p);
+        }
+        assert!(rx.jitter > 1_000.0, "jitter {} should reflect 15 ms swings", rx.jitter);
+    }
+
+    #[test]
+    fn foreign_and_malformed_ignored() {
+        let mut rx = RtpReceiver::new(2, 8000, 7000);
+        let junk = Packet::new(
+            TransportHeader::datagram(Proto::Udp, 7000, 8000),
+            Bytes::from_static(&[1]),
+        );
+        assert!(rx.on_packet(SimTime::ZERO, &junk).is_none());
+        let wrong_port = Packet::new(
+            TransportHeader::datagram(Proto::Udp, 7000, 9999),
+            Bytes::from_static(&[0x80, PT_VOICE, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 9]),
+        );
+        assert!(rx.on_packet(SimTime::ZERO, &wrong_port).is_none());
+        assert!(parse_rtcp(&[0x80, 200]).is_none());
+        assert!(parse_rtcp(&[0u8; 14]).is_none());
+    }
+}

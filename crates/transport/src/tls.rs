@@ -1,0 +1,421 @@
+//! TLS-shaped record layer and handshake choreography.
+//!
+//! All five platforms carry their control channels over HTTPS (Table 2),
+//! so the byte counts the paper measured include TLS handshake flights and
+//! per-record overhead. This module reproduces that shape without real
+//! cryptography: application bytes are framed into records with the TLS
+//! 1.3 wire overhead (5-byte record header + 17-byte AEAD expansion), and
+//! the handshake exchanges flights of realistic sizes. The "ciphertext"
+//! is the plaintext — we are modelling *byte counts on the wire*, not
+//! confidentiality.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Record header: content type (1) + legacy version (2) + length (2).
+pub const RECORD_HEADER_LEN: usize = 5;
+/// AEAD tag (16) + content-type byte (1) appended to every record.
+pub const RECORD_EXPANSION: usize = 17;
+/// Total per-record overhead.
+pub const RECORD_OVERHEAD: usize = RECORD_HEADER_LEN + RECORD_EXPANSION;
+/// Maximum plaintext fragment per record.
+pub const MAX_FRAGMENT: usize = 16_384;
+
+/// Content type byte for application data records.
+pub const CONTENT_APPDATA: u8 = 23;
+/// Content type byte for handshake records.
+pub const CONTENT_HANDSHAKE: u8 = 22;
+
+/// Handshake flight sizes, calibrated to a typical TLS 1.3 exchange with
+/// a certificate chain (the dominant cost of the platforms' short control
+/// transactions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HandshakeProfile {
+    /// ClientHello bytes.
+    pub client_hello: usize,
+    /// ServerHello + EncryptedExtensions + Certificate + Verify + Finished.
+    pub server_flight: usize,
+    /// Client Finished.
+    pub client_finished: usize,
+    /// NewSessionTicket(s).
+    pub session_tickets: usize,
+}
+
+impl Default for HandshakeProfile {
+    fn default() -> Self {
+        HandshakeProfile {
+            client_hello: 320,
+            server_flight: 3_650,
+            client_finished: 74,
+            session_tickets: 250,
+        }
+    }
+}
+
+/// Encode one application-data record.
+pub fn seal_record(content_type: u8, plaintext: &[u8]) -> Bytes {
+    assert!(plaintext.len() <= MAX_FRAGMENT, "fragment too large");
+    let body_len = plaintext.len() + RECORD_EXPANSION;
+    let mut buf = BytesMut::with_capacity(RECORD_HEADER_LEN + body_len);
+    buf.put_u8(CONTENT_APPDATA); // outer type is always appdata in TLS 1.3
+    buf.put_u16(0x0303); // legacy version
+    buf.put_u16(body_len as u16);
+    buf.extend_from_slice(plaintext);
+    buf.put_u8(content_type); // inner content type
+    buf.put_bytes(0xA5, RECORD_EXPANSION - 1); // stand-in AEAD tag
+    buf.freeze()
+}
+
+/// Split a plaintext into sealed records of at most [`MAX_FRAGMENT`].
+pub fn seal_stream(content_type: u8, plaintext: &[u8]) -> Vec<Bytes> {
+    if plaintext.is_empty() {
+        return vec![seal_record(content_type, &[])];
+    }
+    plaintext
+        .chunks(MAX_FRAGMENT)
+        .map(|c| seal_record(content_type, c))
+        .collect()
+}
+
+/// Wire bytes needed to carry `plain_len` bytes of application data.
+pub fn sealed_len(plain_len: usize) -> usize {
+    if plain_len == 0 {
+        return RECORD_OVERHEAD;
+    }
+    let full = plain_len / MAX_FRAGMENT;
+    let rem = plain_len % MAX_FRAGMENT;
+    full * (MAX_FRAGMENT + RECORD_OVERHEAD) + if rem > 0 { rem + RECORD_OVERHEAD } else { 0 }
+}
+
+/// Errors unsealing a record stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TlsError {
+    /// Record claims a length beyond the protocol limit.
+    OversizedRecord(usize),
+    /// Record body shorter than the AEAD expansion.
+    ShortRecord(usize),
+    /// The stand-in AEAD tag failed to verify (corruption).
+    BadTag,
+}
+
+impl std::fmt::Display for TlsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TlsError::OversizedRecord(n) => write!(f, "record length {n} exceeds limit"),
+            TlsError::ShortRecord(n) => write!(f, "record body {n} shorter than expansion"),
+            TlsError::BadTag => write!(f, "record authentication failed"),
+        }
+    }
+}
+
+impl std::error::Error for TlsError {}
+
+/// Incremental record-stream parser (handles records split across TCP
+/// segment boundaries).
+#[derive(Debug, Default)]
+pub struct RecordUnsealer {
+    buf: BytesMut,
+}
+
+/// One unsealed record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlainRecord {
+    /// Inner content type ([`CONTENT_APPDATA`] or [`CONTENT_HANDSHAKE`]).
+    pub content_type: u8,
+    /// Decrypted plaintext.
+    pub plaintext: Bytes,
+}
+
+impl RecordUnsealer {
+    /// Create an empty parser.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed stream bytes; returns every complete record now available.
+    pub fn feed(&mut self, data: &[u8]) -> Result<Vec<PlainRecord>, TlsError> {
+        self.buf.extend_from_slice(data);
+        let mut out = Vec::new();
+        loop {
+            if self.buf.len() < RECORD_HEADER_LEN {
+                break;
+            }
+            let body_len = u16::from_be_bytes([self.buf[3], self.buf[4]]) as usize;
+            if body_len > MAX_FRAGMENT + RECORD_EXPANSION {
+                return Err(TlsError::OversizedRecord(body_len));
+            }
+            if body_len < RECORD_EXPANSION {
+                return Err(TlsError::ShortRecord(body_len));
+            }
+            if self.buf.len() < RECORD_HEADER_LEN + body_len {
+                break;
+            }
+            let record = self.buf.split_to(RECORD_HEADER_LEN + body_len);
+            let body = &record[RECORD_HEADER_LEN..];
+            let plain_len = body_len - RECORD_EXPANSION;
+            // Verify the stand-in tag.
+            if body[plain_len + 1..].iter().any(|&b| b != 0xA5) {
+                return Err(TlsError::BadTag);
+            }
+            out.push(PlainRecord {
+                content_type: body[plain_len],
+                plaintext: Bytes::copy_from_slice(&body[..plain_len]),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Bytes buffered awaiting a complete record.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// Client-side handshake driver layered over a byte stream.
+///
+/// Tracks which flight is due and produces the flight bytes to write to
+/// the TCP stream. The session is `established` after the client Finished
+/// is sent (TLS 1.3 allows the client to send data immediately after).
+#[derive(Debug)]
+pub struct TlsSession {
+    profile: HandshakeProfile,
+    /// Whether this endpoint initiated the connection.
+    pub is_client: bool,
+    state: HsState,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HsState {
+    Start,
+    HelloSent,
+    Established,
+}
+
+impl TlsSession {
+    /// New client-side session.
+    pub fn client(profile: HandshakeProfile) -> Self {
+        TlsSession { profile, is_client: true, state: HsState::Start }
+    }
+
+    /// New server-side session.
+    pub fn server(profile: HandshakeProfile) -> Self {
+        TlsSession { profile, is_client: false, state: HsState::Start }
+    }
+
+    /// Whether application data may flow.
+    pub fn is_established(&self) -> bool {
+        self.state == HsState::Established
+    }
+
+    /// The next handshake bytes this endpoint should write, if any.
+    /// Call once the transport connects, and again after each incoming
+    /// handshake record.
+    pub fn flight_to_send(&mut self) -> Option<Bytes> {
+        match (self.is_client, self.state) {
+            (true, HsState::Start) => {
+                self.state = HsState::HelloSent;
+                Some(handshake_blob(self.profile.client_hello))
+            }
+            _ => None,
+        }
+    }
+
+    /// Process an incoming handshake record; returns response bytes.
+    pub fn on_handshake_record(&mut self, record: &PlainRecord) -> Option<Bytes> {
+        if record.content_type != CONTENT_HANDSHAKE {
+            return None;
+        }
+        match (self.is_client, self.state) {
+            // Server receives ClientHello → sends its whole flight.
+            (false, HsState::Start) => {
+                self.state = HsState::HelloSent;
+                Some(handshake_blob(self.profile.server_flight))
+            }
+            // Client receives server flight → Finished; established.
+            (true, HsState::HelloSent) => {
+                self.state = HsState::Established;
+                Some(handshake_blob(self.profile.client_finished))
+            }
+            // Server receives client Finished → tickets; established.
+            (false, HsState::HelloSent) => {
+                self.state = HsState::Established;
+                Some(handshake_blob(self.profile.session_tickets))
+            }
+            // Client receives tickets (already established).
+            (true, HsState::Established) => None,
+            _ => None,
+        }
+    }
+}
+
+/// A handshake flight as sealed record bytes totalling roughly `size`.
+fn handshake_blob(size: usize) -> Bytes {
+    let plain = vec![0x48u8; size.saturating_sub(RECORD_OVERHEAD)];
+    let records = seal_stream(CONTENT_HANDSHAKE, &plain);
+    let mut buf = BytesMut::new();
+    for r in records {
+        buf.extend_from_slice(&r);
+    }
+    buf.freeze()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn record_roundtrip() {
+        let sealed = seal_record(CONTENT_APPDATA, b"GET / HTTP/1.1");
+        assert_eq!(sealed.len(), 14 + RECORD_OVERHEAD);
+        let mut u = RecordUnsealer::new();
+        let recs = u.feed(&sealed).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].plaintext.as_ref(), b"GET / HTTP/1.1");
+        assert_eq!(recs[0].content_type, CONTENT_APPDATA);
+    }
+
+    #[test]
+    fn records_split_across_segments() {
+        let sealed = seal_record(CONTENT_APPDATA, &[7u8; 1000]);
+        let mut u = RecordUnsealer::new();
+        assert!(u.feed(&sealed[..100]).unwrap().is_empty());
+        assert!(u.feed(&sealed[100..600]).unwrap().is_empty());
+        let recs = u.feed(&sealed[600..]).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].plaintext.len(), 1000);
+        assert_eq!(u.pending(), 0);
+    }
+
+    #[test]
+    fn large_stream_fragments() {
+        let plain = vec![1u8; MAX_FRAGMENT * 2 + 100];
+        let records = seal_stream(CONTENT_APPDATA, &plain);
+        assert_eq!(records.len(), 3);
+        let mut u = RecordUnsealer::new();
+        let mut got = Vec::new();
+        for r in &records {
+            for rec in u.feed(r).unwrap() {
+                got.extend_from_slice(&rec.plaintext);
+            }
+        }
+        assert_eq!(got, plain);
+    }
+
+    #[test]
+    fn sealed_len_matches_actual() {
+        for n in [0usize, 1, 100, MAX_FRAGMENT, MAX_FRAGMENT + 1, 40_000] {
+            let plain = vec![0u8; n];
+            let actual: usize = seal_stream(CONTENT_APPDATA, &plain).iter().map(|r| r.len()).sum();
+            assert_eq!(sealed_len(n), actual, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn corrupted_tag_detected() {
+        let sealed = seal_record(CONTENT_APPDATA, b"data");
+        let mut bad = sealed.to_vec();
+        let last = bad.len() - 1;
+        bad[last] = 0;
+        let mut u = RecordUnsealer::new();
+        assert_eq!(u.feed(&bad).unwrap_err(), TlsError::BadTag);
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let mut hdr = vec![CONTENT_APPDATA, 3, 3];
+        hdr.extend_from_slice(&(60_000u16).to_be_bytes());
+        let mut u = RecordUnsealer::new();
+        assert!(matches!(u.feed(&hdr).unwrap_err(), TlsError::OversizedRecord(_)));
+    }
+
+    #[test]
+    fn full_handshake_choreography() {
+        let mut client = TlsSession::client(HandshakeProfile::default());
+        let mut server = TlsSession::server(HandshakeProfile::default());
+        let mut c_un = RecordUnsealer::new();
+        let mut s_un = RecordUnsealer::new();
+
+        // Client hello.
+        let hello = client.flight_to_send().expect("client hello");
+        assert!(server.flight_to_send().is_none(), "server never speaks first");
+        // Server processes, responds with its flight.
+        let mut server_out = BytesMut::new();
+        for rec in s_un.feed(&hello).unwrap() {
+            if let Some(resp) = server.on_handshake_record(&rec) {
+                server_out.extend_from_slice(&resp);
+            }
+        }
+        assert!(!server.is_established());
+        // Client processes server flight → Finished, established.
+        let mut client_out = BytesMut::new();
+        for rec in c_un.feed(&server_out).unwrap() {
+            if let Some(resp) = client.on_handshake_record(&rec) {
+                client_out.extend_from_slice(&resp);
+            }
+        }
+        assert!(client.is_established());
+        // Server processes Finished → tickets, established.
+        let mut tickets = BytesMut::new();
+        for rec in s_un.feed(&client_out).unwrap() {
+            if let Some(resp) = server.on_handshake_record(&rec) {
+                tickets.extend_from_slice(&resp);
+            }
+        }
+        assert!(server.is_established());
+        // Client consumes tickets silently.
+        for rec in c_un.feed(&tickets).unwrap() {
+            assert!(client.on_handshake_record(&rec).is_none());
+        }
+        // Handshake volume is dominated by the server flight.
+        assert!(server_out.len() > hello.len());
+        assert!(server_out.len() > 3_000);
+    }
+
+    #[test]
+    fn appdata_records_ignored_by_handshake() {
+        let mut server = TlsSession::server(HandshakeProfile::default());
+        let rec = PlainRecord { content_type: CONTENT_APPDATA, plaintext: Bytes::from_static(b"x") };
+        assert!(server.on_handshake_record(&rec).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_stream_roundtrip(plain in proptest::collection::vec(any::<u8>(), 0..50_000)) {
+            let records = seal_stream(CONTENT_APPDATA, &plain);
+            let mut u = RecordUnsealer::new();
+            let mut got = Vec::new();
+            for r in &records {
+                for rec in u.feed(r).unwrap() {
+                    got.extend_from_slice(&rec.plaintext);
+                }
+            }
+            prop_assert_eq!(got, plain);
+            prop_assert_eq!(u.pending(), 0);
+        }
+
+        #[test]
+        fn prop_arbitrary_split_points(
+            plain in proptest::collection::vec(any::<u8>(), 1..5_000),
+            cuts in proptest::collection::vec(1usize..200, 0..20),
+        ) {
+            let mut stream = Vec::new();
+            for r in seal_stream(CONTENT_APPDATA, &plain) {
+                stream.extend_from_slice(&r);
+            }
+            let mut u = RecordUnsealer::new();
+            let mut got = Vec::new();
+            let mut pos = 0;
+            for c in cuts {
+                let end = (pos + c).min(stream.len());
+                for rec in u.feed(&stream[pos..end]).unwrap() {
+                    got.extend_from_slice(&rec.plaintext);
+                }
+                pos = end;
+            }
+            for rec in u.feed(&stream[pos..]).unwrap() {
+                got.extend_from_slice(&rec.plaintext);
+            }
+            prop_assert_eq!(got, plain);
+        }
+    }
+}

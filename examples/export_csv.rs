@@ -1,0 +1,81 @@
+//! Export reproduced figure data as CSV for external plotting
+//! (gnuplot / matplotlib), the way a measurement-paper artifact would.
+//!
+//! ```sh
+//! cargo run --release --example export_csv [output-dir]
+//! ```
+
+use metaverse_measurement::core::experiments::{fig12, fig7};
+use metaverse_measurement::core::report::write_csv;
+use metaverse_measurement::PlatformId;
+use std::fs::File;
+use std::path::PathBuf;
+
+fn main() -> std::io::Result<()> {
+    let dir: PathBuf =
+        std::env::args().nth(1).unwrap_or_else(|| "results".to_string()).into();
+    std::fs::create_dir_all(&dir)?;
+
+    // Figure 7/8: the per-platform scaling sweep.
+    let cfg = fig7::ScalingConfig {
+        user_counts: vec![1, 2, 3, 5, 7, 10],
+        trials: 2,
+        duration_s: 40,
+        seed: 0xC57,
+    };
+    let mut rows = Vec::new();
+    for id in PlatformId::ALL {
+        let sweep = fig7::run(id, &cfg);
+        for p in &sweep.points {
+            rows.push(vec![
+                id.name().to_string(),
+                p.users.to_string(),
+                format!("{:.2}", p.down_kbps.mean),
+                format!("{:.2}", p.down_kbps.ci95),
+                format!("{:.2}", p.fps.mean),
+                format!("{:.2}", p.cpu.mean),
+                format!("{:.2}", p.gpu.mean),
+                format!("{:.1}", p.memory_mb.mean),
+            ]);
+        }
+        println!("swept {}", id.name());
+    }
+    let path = dir.join("fig7_fig8_scaling.csv");
+    write_csv(
+        File::create(&path)?,
+        &["platform", "users", "down_kbps", "down_ci95", "fps", "cpu_pct", "gpu_pct", "mem_mb"],
+        &rows,
+    )?;
+    println!("wrote {}", path.display());
+
+    // Figure 12: the Worlds downlink-throttling time series.
+    let r12 = fig12::run(&fig12::Fig12Config {
+        stages_mbps: vec![1.0, 0.5, 0.2],
+        stage_s: 20,
+        tail_s: 20,
+        start_s: 15,
+        seed: 0xC57,
+    });
+    let n = r12.down_mbps.len().min(r12.cpu.len()).min(r12.fps.len());
+    let rows: Vec<Vec<String>> = (0..n)
+        .map(|t| {
+            vec![
+                t.to_string(),
+                format!("{:.3}", r12.up_mbps.get(t).copied().unwrap_or(0.0)),
+                format!("{:.3}", r12.down_mbps[t]),
+                format!("{:.1}", r12.cpu[t]),
+                format!("{:.1}", r12.gpu[t]),
+                format!("{:.1}", r12.fps[t]),
+                format!("{:.1}", r12.stale[t]),
+            ]
+        })
+        .collect();
+    let path = dir.join("fig12_disruption_timeseries.csv");
+    write_csv(
+        File::create(&path)?,
+        &["t_s", "up_mbps", "down_mbps", "cpu_pct", "gpu_pct", "fps", "stale_per_s"],
+        &rows,
+    )?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! End-to-end latency study (§7): the finger-touch measurement, its
+//! sender/server/receiver breakdown, and the clock-sync procedure that
+//! makes cross-headset timestamps comparable.
+//!
+//! ```sh
+//! cargo run --release --example latency_breakdown
+//! ```
+
+use metaverse_measurement::core::clocksync::{sync_pair, DeviceClock};
+use metaverse_measurement::core::experiments::fig11::{run_all, Fig11Config};
+use metaverse_measurement::core::experiments::table4::{run, Table4Config};
+use metaverse_measurement::netsim::{SimDuration, SimRng, SimTime};
+
+fn main() {
+    println!("== §7 prerequisite: syncing two unsynchronised Quest 2 clocks ==\n");
+    let mut rng = SimRng::seed_from_u64(11);
+    let u1 = DeviceClock::new(1_700_000_000_000, 18.0);
+    let u2 = DeviceClock::new(-3_600_000_000, -12.0);
+    let now = SimTime::from_secs(30);
+    let est = sync_pair(&u1, &u2, now, SimDuration::from_millis(4), 7, &mut rng);
+    let truth = u1.true_offset_at(now) - u2.true_offset_at(now);
+    println!(
+        "relative offset: estimated {est} µs vs true {truth} µs (error {} µs —\nmillisecond-level, as the ADB method achieves)\n",
+        (est - truth).abs()
+    );
+
+    println!("== Table 4: E2E latency breakdown ==\n");
+    let rep = run(Table4Config { trials: 2, actions: 12, seed: 0x7AB1E4 });
+    println!("{rep}");
+
+    println!("== Fig. 11: latency vs user count ==\n");
+    let rep11 = run_all(&Fig11Config {
+        user_counts: vec![2, 4, 6],
+        actions: 8,
+        trials: 1,
+        seed: 0xF1611,
+    });
+    println!("{rep11}");
+    for s in &rep11.series {
+        println!("  {}: per-step deltas {:?} ms", s.platform.name(), s.deltas().iter().map(|d| (d * 10.0).round() / 10.0).collect::<Vec<_>>());
+    }
+    println!("\nThe deltas grow with each added user — server queueing plus");
+    println!("receiver-side rendering load, the paper's latency scalability issue.");
+}

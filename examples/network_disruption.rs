@@ -1,0 +1,68 @@
+//! Network disruption study (§8): throttle Horizon Worlds' links while a
+//! shooter game runs, reproducing both Figure 12 (downlink staircase) and
+//! Figure 13's TCP-priority interplay.
+//!
+//! ```sh
+//! cargo run --release --example network_disruption
+//! ```
+
+use metaverse_measurement::core::experiments::fig12::{run as run_fig12, Fig12Config};
+use metaverse_measurement::core::experiments::fig13::{
+    run_tcp_priority, run_uplink_caps, TcpPriorityConfig, UplinkCapsConfig,
+};
+
+fn main() {
+    println!("== Fig. 12: downlink staircase on Worlds' shooter ==\n");
+    let cfg12 = Fig12Config {
+        stages_mbps: vec![1.0, 0.5, 0.2],
+        stage_s: 20,
+        tail_s: 20,
+        start_s: 15,
+        seed: 3,
+    };
+    let r12 = run_fig12(&cfg12);
+    println!("{r12}");
+    for (k, cap) in cfg12.stages_mbps.iter().enumerate() {
+        let (a, b) = r12.stage_window(k);
+        println!(
+            "  cap {:>4} Mbps → downlink {:>5.2} Mbps, CPU {:>5.1}%, FPS {:>5.1}",
+            cap,
+            r12.down_in_stage(k),
+            Fig12ReportMean::cpu(&r12, a, b),
+            Fig12ReportMean::fps(&r12, a, b),
+        );
+    }
+
+    println!("\n== Fig. 13 (top): uplink staircase ==\n");
+    let r13 = run_uplink_caps(&UplinkCapsConfig {
+        stages_mbps: vec![1.2, 0.7, 0.3],
+        stage_s: 20,
+        start_s: 15,
+        tail_s: 15,
+        seed: 3,
+    });
+    println!("{r13}");
+
+    println!("== Fig. 13 (bottom): TCP-only impairment ==\n");
+    let cfg = TcpPriorityConfig::quick();
+    let r = run_tcp_priority(&cfg);
+    println!("{r}");
+    let delay = cfg.delays_s[0] as usize;
+    let gap = r.longest_udp_gap(cfg.start_s as usize, (cfg.start_s + cfg.stage_s) as usize);
+    println!("TCP delayed {delay}s → UDP transmission gap of {gap}s (Worlds gates UDP");
+    println!("behind TCP delivery). After 100% TCP loss the UDP session died at");
+    println!("{:?}s and never recovered, with the in-game countdown frozen: {}.",
+        r.frozen_at_s, r.countdown_went_stale);
+}
+
+/// Small helpers to average monitor series over a window.
+struct Fig12ReportMean;
+
+impl Fig12ReportMean {
+    fn cpu(r: &metaverse_measurement::core::experiments::fig12::Fig12Report, a: usize, b: usize) -> f64 {
+        metaverse_measurement::core::experiments::fig12::Fig12Report::mean(&r.cpu, a, b)
+    }
+    fn fps(r: &metaverse_measurement::core::experiments::fig12::Fig12Report, a: usize, b: usize) -> f64 {
+        metaverse_measurement::core::experiments::fig12::Fig12Report::mean(&r.fps, a, b)
+    }
+}

@@ -1,0 +1,29 @@
+//! Platform survey (§4): features, protocols, server infrastructure,
+//! anycast detection, and RTTs — Tables 1 and 2 plus the Figure 2
+//! channel timelines.
+//!
+//! ```sh
+//! cargo run --release --example platform_survey
+//! ```
+
+use metaverse_measurement::core::experiments::fig2::{run_all, Fig2Config};
+use metaverse_measurement::core::experiments::{table1, table2};
+
+fn main() {
+    println!("{}", table1::run());
+
+    println!("{}", table2::run(table2::Table2Config::full()));
+    println!("(anycast rows show '-' for location: geolocating an anycast IP is");
+    println!("meaningless — the same address answers from many PoPs)\n");
+
+    println!("== Fig. 2: control vs data channels around event join ==\n");
+    for rep in run_all(Fig2Config { duration_s: 120, join_s: 60, seed: 0xF162 }) {
+        println!("{rep}");
+        println!(
+            "  welcome-page control {:.1} Kbps; data before join {:.2} Kbps; data during event {:.1} Kbps\n",
+            rep.control_on_welcome(),
+            rep.data_down_before_event(),
+            rep.data_down_during_event()
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Regenerate every table and figure of the paper in one run.
+//!
+//! ```sh
+//! cargo run --release --example reproduce_all          # quick fidelity
+//! REPRO_FULL=1 cargo run --release --example reproduce_all  # paper fidelity
+//! ```
+//!
+//! The output of the full run is the source of `EXPERIMENTS.md`.
+
+use metaverse_measurement::core::experiments::*;
+use metaverse_measurement::PlatformId;
+
+fn main() {
+    let full = std::env::var("REPRO_FULL").map(|v| v == "1").unwrap_or(false);
+    println!(
+        "Reproducing all tables & figures at {} fidelity\n",
+        if full { "FULL (paper)" } else { "QUICK" }
+    );
+
+    println!("{}", table1::run());
+
+    let t2 = if full { table2::Table2Config::full() } else { table2::Table2Config::quick() };
+    println!("{}", table2::run(t2));
+
+    println!("{}", vantage::run());
+
+    let f2 = if full { fig2::Fig2Config::full() } else { fig2::Fig2Config::quick() };
+    for rep in fig2::run_all(f2) {
+        println!("{rep}");
+    }
+
+    let t3 = if full { table3::Table3Config::full() } else { table3::Table3Config::quick() };
+    println!("{}", table3::run(t3));
+
+    let f3 = if full { fig3::Fig3Config::full() } else { fig3::Fig3Config::quick() };
+    for p in [PlatformId::RecRoom, PlatformId::Worlds] {
+        println!("{}", fig3::run(p, f3));
+    }
+
+    let f6 = if full { fig6::Fig6Config::full() } else { fig6::Fig6Config::quick() };
+    for p in PlatformId::ALL {
+        let rep = fig6::run(p, fig6::Variant::VisibleThenAway, f6);
+        println!("{rep}");
+        println!(
+            "  downlink before turn {:.1} Kbps → after turn {:.1} Kbps\n",
+            rep.down_before_turn(),
+            rep.down_after_turn()
+        );
+    }
+    let rep = fig6::run(PlatformId::AltspaceVr, fig6::Variant::AwayThenVisible, f6);
+    println!("{rep}");
+
+    let vp = if full { viewport::ViewportConfig::full() } else { viewport::ViewportConfig::quick() };
+    println!("{}", viewport::run(PlatformId::AltspaceVr, vp));
+
+    let f7 = if full { fig7::ScalingConfig::full() } else { fig7::ScalingConfig::quick() };
+    for rep in fig7::run_all(&f7) {
+        println!("{rep}");
+    }
+    println!("{}", fig8::run(&f7));
+
+    let f9 = if full { fig9::Fig9Config::full() } else { fig9::Fig9Config::quick() };
+    println!("{}", fig9::run(&f9));
+
+    let t4 = if full { table4::Table4Config::full() } else { table4::Table4Config::quick() };
+    println!("{}", table4::run(t4));
+
+    let f11 = if full { fig11::Fig11Config::full() } else { fig11::Fig11Config::quick() };
+    println!("{}", fig11::run_all(&f11));
+
+    let f12 = if full { fig12::Fig12Config::full() } else { fig12::Fig12Config::quick() };
+    println!("{}", fig12::run(&f12));
+
+    let caps = if full {
+        fig13::UplinkCapsConfig::full()
+    } else {
+        fig13::UplinkCapsConfig::quick()
+    };
+    println!("{}", fig13::run_uplink_caps(&caps));
+    let tcp = if full {
+        fig13::TcpPriorityConfig::full()
+    } else {
+        fig13::TcpPriorityConfig::quick()
+    };
+    println!("{}", fig13::run_tcp_priority(&tcp));
+
+    let d = if full { disruption::DisruptionConfig::full() } else { disruption::DisruptionConfig::quick() };
+    for p in [PlatformId::Worlds, PlatformId::RecRoom, PlatformId::VrChat] {
+        println!("{}", disruption::run(p, &d));
+    }
+
+    let ab = if full { ablations::AblationConfig::full() } else { ablations::AblationConfig::quick() };
+    println!("{}", ablations::remote_rendering(&ab));
+    println!("{}", ablations::p2p_scaling(&ab));
+    let di = ablations::device_independence(0xD11CE);
+    println!(
+        "§5.1 device independence: Quest 2 uplink {:.1} Kbps == PC uplink {:.1} Kbps;\nQuest FPS {:.1} (of 72) vs PC FPS {:.1} (of 60)\n",
+        di.quest_up_kbps, di.pc_up_kbps, di.quest_fps, di.pc_fps
+    );
+    println!("Implication-2 embodiment cost curve (per-avatar Kbps at 30 Hz):");
+    for (name, kbps) in ablations::embodiment_cost_curve() {
+        println!("  {name:<24} {kbps:>9.1}");
+    }
+}

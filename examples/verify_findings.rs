@@ -1,0 +1,14 @@
+//! Verify every Takeaway and Implication of the paper against the
+//! simulation, printing a pass/fail checklist.
+//!
+//! ```sh
+//! cargo run --release --example verify_findings
+//! ```
+
+use metaverse_measurement::core::experiments::takeaways;
+
+fn main() {
+    let report = takeaways::run();
+    println!("{report}");
+    std::process::exit(if report.all_hold() { 0 } else { 1 });
+}

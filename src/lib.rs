@@ -1,0 +1,37 @@
+//! # metaverse-measurement
+//!
+//! A full Rust reproduction of *"Are We Ready for Metaverse? A
+//! Measurement Study of Social Virtual Reality Platforms"* (IMC 2022):
+//! the measurement harness of the paper, running against a from-scratch
+//! discrete-event simulation of the five studied platforms (AltspaceVR,
+//! Horizon Worlds, Mozilla Hubs, Rec Room, VRChat).
+//!
+//! This crate is the facade: it re-exports the workspace layers under
+//! one name. See `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! ```
+//! use metaverse_measurement::platform::{PlatformConfig, SessionConfig};
+//! use metaverse_measurement::platform::session::run_session;
+//! use metaverse_measurement::netsim::SimDuration;
+//!
+//! // Two users walk and chat on VRChat for 20 simulated seconds.
+//! let cfg = SessionConfig::walk_and_chat(
+//!     PlatformConfig::vrchat(), 2, SimDuration::from_secs(20), 42);
+//! let result = run_session(&cfg);
+//! assert!(result.users[0].avatar_updates_received > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use svr_avatar as avatar;
+pub use svr_client as client;
+pub use svr_core as core;
+pub use svr_geo as geo;
+pub use svr_netsim as netsim;
+pub use svr_platform as platform;
+pub use svr_transport as transport;
+
+/// The paper's five platforms, re-exported for convenience.
+pub use svr_platform::PlatformId;

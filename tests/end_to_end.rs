@@ -1,0 +1,113 @@
+//! Cross-crate integration: sessions drive real protocol stacks whose
+//! captures survive a pcap round trip; runs are deterministic; channel
+//! classification separates the stacks the way §4.1 describes.
+
+use metaverse_measurement::core::analysis::{channel_records, ProtocolMix};
+use metaverse_measurement::netsim::pcap::{read_pcap, PcapWriter};
+use metaverse_measurement::netsim::{Packet, Proto, SimDuration, TransportHeader};
+use metaverse_measurement::platform::session::run_session;
+use metaverse_measurement::platform::{ChannelKind, PlatformConfig, SessionConfig};
+use metaverse_measurement::PlatformId;
+
+#[test]
+fn session_runs_are_bit_deterministic() {
+    let run = |seed| {
+        let cfg = SessionConfig::walk_and_chat(
+            PlatformConfig::worlds(),
+            3,
+            SimDuration::from_secs(20),
+            seed,
+        );
+        let r = run_session(&cfg);
+        (
+            r.users[0].ap_records.len(),
+            r.users[0].avatar_updates_received,
+            r.server_stats,
+            r.users[0].samples.last().map(|s| (s.cpu * 1000.0) as u64),
+        )
+    };
+    assert_eq!(run(1), run(1));
+    assert_ne!(run(1).0, run(2).0);
+}
+
+#[test]
+fn channel_classification_separates_protocol_stacks() {
+    for (id, expect_data_proto) in [
+        (PlatformId::VrChat, Proto::Udp),
+        (PlatformId::Hubs, Proto::Tcp),
+    ] {
+        let cfg = SessionConfig::walk_and_chat(
+            PlatformConfig::of(id),
+            2,
+            SimDuration::from_secs(25),
+            7,
+        );
+        let r = run_session(&cfg);
+        let recs = &r.users[0].ap_records;
+        let data =
+            channel_records(recs, ChannelKind::Data, r.control_server_node, r.data_server_node);
+        let ctl =
+            channel_records(recs, ChannelKind::Control, r.control_server_node, r.data_server_node);
+        assert!(!data.is_empty() && !ctl.is_empty(), "{id}");
+        assert_eq!(ProtocolMix::of(&data).dominant(), Some(expect_data_proto), "{id}");
+        assert_eq!(ProtocolMix::of(&ctl).dominant(), Some(Proto::Tcp), "{id} control is HTTPS");
+        // Every captured packet belongs to exactly one channel.
+        assert_eq!(data.len() + ctl.len(), recs.len(), "{id}");
+    }
+}
+
+#[test]
+fn live_session_traffic_survives_a_pcap_roundtrip() {
+    let cfg = SessionConfig::walk_and_chat(
+        PlatformConfig::recroom(),
+        2,
+        SimDuration::from_secs(15),
+        3,
+    );
+    let r = run_session(&cfg);
+    let recs = &r.users[0].ap_records;
+    assert!(recs.len() > 100);
+
+    // Re-encode the captured metadata as real packets and dump to pcap.
+    let mut w = PcapWriter::new(Vec::new()).unwrap();
+    for rec in recs {
+        let mut hdr = TransportHeader::datagram(rec.flow.proto, rec.flow.src_port, rec.flow.dst_port);
+        if rec.flow.proto == Proto::Tcp {
+            hdr = TransportHeader::tcp(rec.flow.src_port, rec.flow.dst_port, 0, 0, Default::default());
+        }
+        let mut pkt = Packet::new(hdr, bytes::Bytes::from(vec![0u8; rec.payload_len as usize]));
+        pkt.src = rec.flow.src;
+        pkt.dst = rec.flow.dst;
+        pkt.id = rec.packet_id;
+        w.write_packet(rec.ts, &pkt).unwrap();
+    }
+    let buf = w.finish().unwrap();
+    let back = read_pcap(&buf[..]).unwrap();
+    assert_eq!(back.len(), recs.len());
+    for (orig, rec) in recs.iter().zip(back.iter()) {
+        assert_eq!(rec.ts, orig.ts);
+        assert_eq!(rec.frame.payload.len() as u32, orig.payload_len);
+        assert_eq!(rec.frame.header.src_port, orig.flow.src_port);
+    }
+}
+
+#[test]
+fn every_platform_survives_a_crowded_session() {
+    for id in PlatformId::ALL {
+        let cfg = SessionConfig::walk_and_chat(
+            PlatformConfig::of(id),
+            6,
+            SimDuration::from_secs(15),
+            9,
+        );
+        let r = run_session(&cfg);
+        assert_eq!(r.users.len(), 6);
+        for (i, u) in r.users.iter().enumerate() {
+            assert!(
+                u.avatar_updates_received > 0,
+                "{id}: user {i} received nothing"
+            );
+            assert!(u.frozen_at.is_none(), "{id}: user {i} froze unexpectedly");
+        }
+    }
+}

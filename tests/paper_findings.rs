@@ -1,0 +1,105 @@
+//! Integration tests: the paper's five headline findings, reproduced
+//! end-to-end through the public facade crate.
+
+use metaverse_measurement::core::analysis::steady_data_rates;
+use metaverse_measurement::core::experiments::{fig6, fig7, table2, table4};
+use metaverse_measurement::netsim::{SimDuration, SimTime};
+use metaverse_measurement::platform::session::run_session;
+use metaverse_measurement::platform::{ChannelKind, PlatformConfig, SessionConfig};
+use metaverse_measurement::PlatformId;
+
+/// Finding 1 (§4): platforms split control (HTTPS) and data channels,
+/// not always on the same provider, some >70 ms away.
+#[test]
+fn finding1_channel_split_and_far_servers() {
+    let rep = table2::run(table2::Table2Config::quick());
+    // Every platform has two distinct channel rows.
+    assert_eq!(rep.rows.len(), 10);
+    // Rec Room's channels belong to different owners (ANS vs Cloudflare).
+    let rr_ctl = rep
+        .rows
+        .iter()
+        .find(|r| r.platform == PlatformId::RecRoom && r.channel == ChannelKind::Control)
+        .unwrap();
+    let rr_data = rep
+        .rows
+        .iter()
+        .find(|r| r.platform == PlatformId::RecRoom && r.channel == ChannelKind::Data)
+        .unwrap();
+    assert_ne!(rr_ctl.owner, rr_data.owner);
+    // Some servers are >70 ms away.
+    assert!(rep.rows.iter().any(|r| r.rtt.mean > 70.0));
+}
+
+/// Finding 2 (§5): two-user throughput < 100 Kbps except Worlds
+/// (~750/410), dominated by avatar data, servers just forward.
+#[test]
+fn finding2_throughput_levels_and_forwarding() {
+    for id in PlatformId::ALL {
+        let cfg = SessionConfig::walk_and_chat(
+            PlatformConfig::of(id),
+            2,
+            SimDuration::from_secs(40),
+            0xF1,
+        );
+        let r = run_session(&cfg);
+        let rates = steady_data_rates(
+            &r.users[0].ap_records,
+            r.data_server_node,
+            SimTime::from_secs(15),
+            SimTime::from_secs(40),
+        );
+        match id {
+            PlatformId::Worlds => {
+                assert!(rates.up_kbps > 400.0, "{id}: up {}", rates.up_kbps);
+                assert!(rates.down_kbps > 250.0, "{id}: down {}", rates.down_kbps);
+            }
+            _ => {
+                assert!(rates.up_kbps < 100.0, "{id}: up {}", rates.up_kbps);
+                assert!(rates.down_kbps < 100.0, "{id}: down {}", rates.down_kbps);
+            }
+        }
+        // Forwarding: everything U1 received was relayed by the server.
+        assert!(r.server_stats.forwards > 0, "{id}");
+    }
+}
+
+/// Finding 3 (§6): throughput grows linearly with users; only AltspaceVR
+/// is viewport-adaptive.
+#[test]
+fn finding3_linear_scaling_and_viewport_optimisation() {
+    let cfg = fig7::ScalingConfig::quick();
+    let rep = fig7::run(PlatformId::RecRoom, &cfg);
+    let (slope, r2) = rep.downlink_linearity();
+    assert!(slope > 0.0 && r2 > 0.95, "slope {slope}, R² {r2}");
+
+    let f6 = fig6::Fig6Config::quick();
+    let alts = fig6::run(PlatformId::AltspaceVr, fig6::Variant::VisibleThenAway, f6);
+    assert!(alts.down_after_turn() < alts.down_before_turn() * 0.55);
+    let vrchat = fig6::run(PlatformId::VrChat, fig6::Variant::VisibleThenAway, f6);
+    assert!(vrchat.down_after_turn() > vrchat.down_before_turn() * 0.8);
+}
+
+/// Finding 4 (§7): Hubs is the slowest end to end; AltspaceVR has the
+/// largest server share; private Hubs collapses the server latency.
+#[test]
+fn finding4_latency_ordering() {
+    let rep = table4::run(table4::Table4Config::quick());
+    let get = |l: &str| rep.rows.iter().find(|r| r.label == l).unwrap();
+    assert!(get("Hubs").breakdown.e2e.mean > get("Rec Room").breakdown.e2e.mean);
+    assert!(get("Hubs").breakdown.e2e.mean > get("Worlds").breakdown.e2e.mean);
+    assert!(
+        get("AltspaceVR").breakdown.server.mean > get("VRChat").breakdown.server.mean
+    );
+    assert!(get("Hubs*").breakdown.e2e.mean < get("Hubs").breakdown.e2e.mean);
+}
+
+/// Finding 5 (§8): Worlds prioritises TCP over UDP — verified at the
+/// client-app level through the facade.
+#[test]
+fn finding5_tcp_priority_is_worlds_specific() {
+    assert!(PlatformConfig::worlds().tcp_priority);
+    for id in [PlatformId::AltspaceVr, PlatformId::Hubs, PlatformId::RecRoom, PlatformId::VrChat] {
+        assert!(!PlatformConfig::of(id).tcp_priority, "{id}");
+    }
+}
