@@ -22,7 +22,7 @@
 use crate::embodiment::{Embodiment, Precision};
 use crate::quant;
 use crate::skeleton::{Joint, JointPose, Pose, Quat, Vec3};
-use bytes::{BufMut, Bytes, BytesMut};
+use svr_netsim::buf::{Bytes, BytesMut};
 
 /// Fixed header length.
 pub const HEADER_LEN: usize = 12;
@@ -246,7 +246,6 @@ pub fn make_update(avatar_id: u32, tick: u32, e: &Embodiment, pose: Pose, veloci
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn sample_pose(e: &Embodiment) -> Pose {
         let mut pose = Pose::rest(&e.joints, e.blendshapes);
@@ -340,19 +339,52 @@ mod tests {
         assert!(u2.velocities.is_empty());
     }
 
-    proptest! {
-        #[test]
-        fn prop_decode_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+    /// Deterministic seeded-loop fallbacks for the proptest versions below:
+    /// always compiled, so the properties stay covered offline.
+    #[test]
+    fn prop_decode_never_panics_on_garbage_seeded() {
+        let mut rng = svr_netsim::SimRng::seed_from_u64(0xC0DE_0001);
+        for _case in 0..512 {
+            let data: Vec<u8> = (0..rng.range_u64(0, 255))
+                .map(|_| rng.range_u64(0, 255) as u8)
+                .collect();
             let _ = decode_update(&data);
         }
+    }
 
-        #[test]
-        fn prop_roundtrip_id_and_tick(id in any::<u32>(), tick in any::<u32>()) {
+    #[test]
+    fn prop_roundtrip_id_and_tick_seeded() {
+        let mut rng = svr_netsim::SimRng::seed_from_u64(0xC0DE_0002);
+        for _case in 0..64 {
+            let id = rng.range_u64(0, u32::MAX as u64) as u32;
+            let tick = rng.range_u64(0, u32::MAX as u64) as u32;
             let e = Embodiment::upper_torso_no_face();
             let u = make_update(id, tick, &e, sample_pose(&e), Vec::new());
             let dec = decode_update(&encode_update(&u)).unwrap();
-            prop_assert_eq!(dec.avatar_id, id);
-            prop_assert_eq!(dec.tick, tick);
+            assert_eq!(dec.avatar_id, id);
+            assert_eq!(dec.tick, tick);
+        }
+    }
+
+    #[cfg(feature = "proptests")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn prop_decode_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+                let _ = decode_update(&data);
+            }
+
+            #[test]
+            fn prop_roundtrip_id_and_tick(id in any::<u32>(), tick in any::<u32>()) {
+                let e = Embodiment::upper_torso_no_face();
+                let u = make_update(id, tick, &e, sample_pose(&e), Vec::new());
+                let dec = decode_update(&encode_update(&u)).unwrap();
+                prop_assert_eq!(dec.avatar_id, id);
+                prop_assert_eq!(dec.tick, tick);
+            }
         }
     }
 }

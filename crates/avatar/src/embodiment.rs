@@ -10,10 +10,9 @@
 //! client-side extrapolation.
 
 use crate::skeleton::Joint;
-use serde::{Deserialize, Serialize};
 
 /// Pose codec precision.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Precision {
     /// Quantised: 16-bit fixed-point positions, smallest-three rotations.
     Quantized,
@@ -22,7 +21,7 @@ pub enum Precision {
 }
 
 /// An avatar embodiment profile.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Embodiment {
     /// Profile name for reports.
     pub name: &'static str,

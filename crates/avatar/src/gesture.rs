@@ -9,7 +9,6 @@
 //! blendshape traffic that gives Worlds its 10× data rate).
 
 use crate::skeleton::Vec3;
-use serde::{Deserialize, Serialize};
 
 /// One controller sample: where the hand is and which way the thumb
 /// points (unit vector in room coordinates).
@@ -22,7 +21,7 @@ pub struct HandSample {
 }
 
 /// A recognised hand gesture.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Gesture {
     /// Thumb pointing up, hand raised.
     ThumbsUp,
@@ -33,7 +32,7 @@ pub enum Gesture {
 }
 
 /// A facial expression produced by a gesture (Fig. 5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Expression {
     /// Resting face.
     Neutral,

@@ -101,7 +101,6 @@ pub fn dequantize_weight(b: u8) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn position_roundtrip_error_bounded() {
@@ -154,30 +153,83 @@ mod tests {
         assert_eq!(quantize_weight(-1.0), 0);
     }
 
-    proptest! {
-        #[test]
-        fn prop_position_roundtrip(x in -32.0f32..32.0, y in -32.0f32..32.0, z in -32.0f32..32.0) {
-            let v = Vec3::new(x, y, z);
+    /// Deterministic seeded-loop fallbacks for the proptest versions below:
+    /// always compiled, so the properties stay covered offline.
+    #[test]
+    fn prop_position_roundtrip_seeded() {
+        let mut rng = svr_netsim::SimRng::seed_from_u64(0x07A7_0001);
+        for _case in 0..256 {
+            let v = Vec3::new(
+                rng.range_f64(-32.0, 32.0) as f32,
+                rng.range_f64(-32.0, 32.0) as f32,
+                rng.range_f64(-32.0, 32.0) as f32,
+            );
             let back = dequantize_pos(quantize_pos(v));
-            prop_assert!(back.distance(v) <= POS_MAX_ERROR_M * 2.0);
+            assert!(back.distance(v) <= POS_MAX_ERROR_M * 2.0);
         }
+    }
 
-        #[test]
-        fn prop_quat_roundtrip(
-            x in -1.0f32..1.0, y in -1.0f32..1.0, z in -1.0f32..1.0, w in -1.0f32..1.0
-        ) {
-            prop_assume!(x*x + y*y + z*z + w*w > 0.01);
+    #[test]
+    fn prop_quat_roundtrip_seeded() {
+        let mut rng = svr_netsim::SimRng::seed_from_u64(0x07A7_0002);
+        let mut cases = 0;
+        while cases < 256 {
+            let x = rng.range_f64(-1.0, 1.0) as f32;
+            let y = rng.range_f64(-1.0, 1.0) as f32;
+            let z = rng.range_f64(-1.0, 1.0) as f32;
+            let w = rng.range_f64(-1.0, 1.0) as f32;
+            if x * x + y * y + z * z + w * w <= 0.01 {
+                continue;
+            }
+            cases += 1;
             let q = Quat { x, y, z, w }.normalized();
             let back = dequantize_quat(quantize_quat(q));
             let err = q.angle_to(back);
-            prop_assert!(err < 0.01, "error {} rad", err);
+            assert!(err < 0.01, "error {} rad", err);
         }
+    }
 
-        #[test]
-        fn prop_quat_decode_is_unit(packed in any::<u32>()) {
+    #[test]
+    fn prop_quat_decode_is_unit_seeded() {
+        let mut rng = svr_netsim::SimRng::seed_from_u64(0x07A7_0003);
+        for _case in 0..256 {
+            let packed = rng.range_u64(0, u32::MAX as u64) as u32;
             let q = dequantize_quat(packed);
-            let n = (q.x*q.x + q.y*q.y + q.z*q.z + q.w*q.w).sqrt();
-            prop_assert!((n - 1.0).abs() < 1e-3);
+            let n = (q.x * q.x + q.y * q.y + q.z * q.z + q.w * q.w).sqrt();
+            assert!((n - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[cfg(feature = "proptests")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn prop_position_roundtrip(x in -32.0f32..32.0, y in -32.0f32..32.0, z in -32.0f32..32.0) {
+                let v = Vec3::new(x, y, z);
+                let back = dequantize_pos(quantize_pos(v));
+                prop_assert!(back.distance(v) <= POS_MAX_ERROR_M * 2.0);
+            }
+
+            #[test]
+            fn prop_quat_roundtrip(
+                x in -1.0f32..1.0, y in -1.0f32..1.0, z in -1.0f32..1.0, w in -1.0f32..1.0
+            ) {
+                prop_assume!(x*x + y*y + z*z + w*w > 0.01);
+                let q = Quat { x, y, z, w }.normalized();
+                let back = dequantize_quat(quantize_quat(q));
+                let err = q.angle_to(back);
+                prop_assert!(err < 0.01, "error {} rad", err);
+            }
+
+            #[test]
+            fn prop_quat_decode_is_unit(packed in any::<u32>()) {
+                let q = dequantize_quat(packed);
+                let n = (q.x*q.x + q.y*q.y + q.z*q.z + q.w*q.w).sqrt();
+                prop_assert!((n - 1.0).abs() < 1e-3);
+            }
         }
     }
 }

@@ -1,9 +1,8 @@
 //! Joints, poses, and the small vector math they need.
 
-use serde::{Deserialize, Serialize};
 
 /// A 3-component vector (metres, room-local coordinates).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Vec3 {
     /// X (right).
     pub x: f32,
@@ -79,7 +78,7 @@ impl std::ops::Mul<f32> for Vec3 {
 }
 
 /// A unit quaternion rotation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Quat {
     /// x component.
     pub x: f32,
@@ -124,7 +123,7 @@ impl Quat {
 ///
 /// The ordering is the canonical wire order; codecs iterate joint sets in
 /// this order so both ends agree without transmitting joint ids.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Joint {
     /// Avatar root (locomotion position + heading).
     Root,
@@ -187,7 +186,7 @@ impl Joint {
 }
 
 /// Pose of one joint.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JointPose {
     /// Position in room-local metres.
     pub position: Vec3,
@@ -203,7 +202,7 @@ impl Default for JointPose {
 
 /// A full avatar pose: positions for a subset of joints plus facial
 /// blendshape weights.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Pose {
     /// `(joint, pose)` pairs in canonical joint order.
     pub joints: Vec<(Joint, JointPose)>,

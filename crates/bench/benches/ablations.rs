@@ -2,7 +2,10 @@
 //! comparison, the §5.1 device-independence check, and the Implication-2
 //! embodiment cost curve.
 
+#[cfg(feature = "criterion")]
 use criterion::{criterion_group, criterion_main, Criterion};
+#[cfg(not(feature = "criterion"))]
+use svr_bench::timing::{criterion_group, criterion_main, Criterion};
 use std::sync::Once;
 use svr_bench::print_once;
 use svr_core::experiments::{ablations, viewport};

@@ -1,7 +1,10 @@
 //! Regenerate the paper's Figures 12 and 13 and the §8.2 tolerance
 //! sweeps.
 
+#[cfg(feature = "criterion")]
 use criterion::{criterion_group, criterion_main, Criterion};
+#[cfg(not(feature = "criterion"))]
+use svr_bench::timing::{criterion_group, criterion_main, Criterion};
 use std::sync::Once;
 use svr_bench::print_once;
 use svr_core::experiments::{disruption, fig12, fig13};

@@ -4,8 +4,11 @@
 //! throughput, TCP transfer speed, avatar codec cost, quantizer cost,
 //! and whole-session step rate.
 
-use bytes::Bytes;
+use svr_netsim::buf::Bytes;
+#[cfg(feature = "criterion")]
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+#[cfg(not(feature = "criterion"))]
+use svr_bench::timing::{criterion_group, criterion_main, Criterion, Throughput};
 use svr_avatar::codec::{decode_update, encode_update, make_update};
 use svr_avatar::motion::MotionState;
 use svr_avatar::quant::{dequantize_quat, quantize_quat};

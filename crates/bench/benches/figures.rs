@@ -1,6 +1,9 @@
 //! Regenerate the paper's Figures 2, 3, 6, 7, 8, 9 and 11.
 
+#[cfg(feature = "criterion")]
 use criterion::{criterion_group, criterion_main, Criterion};
+#[cfg(not(feature = "criterion"))]
+use svr_bench::timing::{criterion_group, criterion_main, Criterion};
 use std::sync::Once;
 use svr_bench::print_once;
 use svr_core::experiments::{fig11, fig2, fig3, fig6, fig7, fig8, fig9};

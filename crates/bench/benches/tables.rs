@@ -4,7 +4,10 @@
 //! regeneration. Run the full-fidelity reproduction with
 //! `REPRO_FULL=1 cargo run --release --example reproduce_all`.
 
+#[cfg(feature = "criterion")]
 use criterion::{criterion_group, criterion_main, Criterion};
+#[cfg(not(feature = "criterion"))]
+use svr_bench::timing::{criterion_group, criterion_main, Criterion};
 use std::sync::Once;
 use svr_bench::print_once;
 use svr_core::experiments::{table1, table2, table3, table4};

@@ -2,12 +2,211 @@
 //!
 //! Each bench target regenerates paper tables/figures: it prints the
 //! reproduced rows once (so `cargo bench` output doubles as the
-//! reproduction record) and then lets Criterion time the regeneration.
+//! reproduction record) and then times the regeneration.
+//!
+//! Timing backend: by default the in-tree [`timing`] module — a
+//! dependency-free loop that mirrors the slice of criterion's API the
+//! bench targets use, so the workspace builds with no external crates
+//! and no network. Enabling the `criterion` feature (after uncommenting
+//! the dev-dependency in `Cargo.toml`; it needs registry access) swaps
+//! the same bench sources onto real criterion unchanged.
 
-/// Print a report exactly once per process (criterion calls the closure
-/// many times; the rows only need to appear once).
+/// Print a report exactly once per process (the timing loop calls the
+/// closure many times; the rows only need to appear once).
 pub fn print_once(flag: &std::sync::Once, report: impl std::fmt::Display) {
     flag.call_once(|| {
         println!("\n{report}");
     });
+}
+
+pub mod timing {
+    //! A minimal, dependency-free stand-in for the criterion API.
+    //!
+    //! Implements exactly the surface the bench targets use —
+    //! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+    //! [`BenchmarkGroup::sample_size`], [`BenchmarkGroup::throughput`],
+    //! [`Bencher::iter`], [`Throughput`], and the `criterion_group!` /
+    //! `criterion_main!` macros — so the same bench sources compile
+    //! against either backend. Each benchmark runs one warm-up
+    //! iteration, then `sample_size` timed iterations, and prints
+    //! mean / min nanoseconds per iteration plus derived throughput.
+
+    use std::time::Instant;
+
+    /// Throughput annotation: scales the per-iteration time into a rate.
+    #[derive(Debug, Clone, Copy)]
+    pub enum Throughput {
+        /// Items processed per iteration.
+        Elements(u64),
+        /// Bytes processed per iteration.
+        Bytes(u64),
+    }
+
+    /// Entry point handed to each benchmark function.
+    #[derive(Default)]
+    pub struct Criterion {}
+
+    impl Criterion {
+        /// Time a single benchmark with default settings.
+        pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F) -> &mut Self
+        where
+            F: FnMut(&mut Bencher),
+        {
+            run_one(name.as_ref(), 10, None, f);
+            self
+        }
+
+        /// Open a named group of related benchmarks.
+        pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+            BenchmarkGroup { _criterion: self, name: name.to_string(), samples: 10, throughput: None }
+        }
+    }
+
+    /// A group of benchmarks sharing sample-size/throughput settings.
+    pub struct BenchmarkGroup<'a> {
+        _criterion: &'a mut Criterion,
+        name: String,
+        samples: usize,
+        throughput: Option<Throughput>,
+    }
+
+    impl BenchmarkGroup<'_> {
+        /// Timed iterations per benchmark (criterion's sample count).
+        pub fn sample_size(&mut self, n: usize) -> &mut Self {
+            self.samples = n.max(1);
+            self
+        }
+
+        /// Annotate work per iteration so a rate is reported.
+        pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+            self.throughput = Some(t);
+            self
+        }
+
+        /// Time one benchmark in this group.
+        pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F) -> &mut Self
+        where
+            F: FnMut(&mut Bencher),
+        {
+            let name = format!("{}/{}", self.name, name.as_ref());
+            run_one(&name, self.samples, self.throughput, f);
+            self
+        }
+
+        /// End the group (output is flushed eagerly; kept for API parity).
+        pub fn finish(self) {}
+    }
+
+    /// Runs the closure under the timer.
+    pub struct Bencher {
+        samples: Vec<f64>,
+        samples_wanted: usize,
+    }
+
+    impl Bencher {
+        /// Time `routine` once per sample, one untimed warm-up first.
+        pub fn iter<O, R>(&mut self, mut routine: R)
+        where
+            R: FnMut() -> O,
+        {
+            std::hint::black_box(routine());
+            for _ in 0..self.samples_wanted {
+                let started = Instant::now();
+                std::hint::black_box(routine());
+                self.samples.push(started.elapsed().as_secs_f64() * 1e9);
+            }
+        }
+    }
+
+    fn run_one<F>(name: &str, samples: usize, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { samples: Vec::new(), samples_wanted: samples };
+        f(&mut bencher);
+        if bencher.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let mean = bencher.samples.iter().sum::<f64>() / bencher.samples.len() as f64;
+        let min = bencher.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let rate = throughput.map(|t| match t {
+            Throughput::Elements(n) => format!("  {:>10.0} elem/s", n as f64 / (mean / 1e9)),
+            Throughput::Bytes(n) => {
+                format!("  {:>10.1} MiB/s", n as f64 / (mean / 1e9) / (1024.0 * 1024.0))
+            }
+        });
+        println!(
+            "{name:<40} mean {:>12} ns  min {:>12} ns{}",
+            group_digits(mean),
+            group_digits(min),
+            rate.unwrap_or_default(),
+        );
+    }
+
+    /// `1234567.8` → `"1,234,568"`, for readable nanosecond columns.
+    fn group_digits(x: f64) -> String {
+        let raw = format!("{:.0}", x);
+        let mut out = String::with_capacity(raw.len() + raw.len() / 3);
+        for (i, c) in raw.chars().enumerate() {
+            if i > 0 && (raw.len() - i) % 3 == 0 {
+                out.push(',');
+            }
+            out.push(c);
+        }
+        out
+    }
+
+    /// Expands to a function running each benchmark in sequence.
+    #[macro_export]
+    macro_rules! criterion_group {
+        ($name:ident, $($target:path),+ $(,)?) => {
+            fn $name() {
+                let mut criterion = $crate::timing::Criterion::default();
+                $( $target(&mut criterion); )+
+            }
+        };
+    }
+
+    /// Expands to `main`, running each group.
+    #[macro_export]
+    macro_rules! criterion_main {
+        ($($group:path),+ $(,)?) => {
+            fn main() {
+                $( $group(); )+
+            }
+        };
+    }
+
+    pub use crate::{criterion_group, criterion_main};
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn group_digits_inserts_separators() {
+            assert_eq!(group_digits(1234567.8), "1,234,568");
+            assert_eq!(group_digits(999.0), "999");
+            assert_eq!(group_digits(0.2), "0");
+        }
+
+        #[test]
+        fn bencher_collects_the_requested_samples() {
+            let mut c = Criterion::default();
+            let mut calls = 0u32;
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(3);
+            g.throughput(Throughput::Elements(1));
+            g.bench_function("counts", |b| {
+                b.iter(|| {
+                    calls += 1;
+                    calls
+                })
+            });
+            g.finish();
+            // 1 warm-up + 3 samples.
+            assert_eq!(calls, 4);
+        }
+    }
 }

@@ -5,10 +5,9 @@
 //! user count — computation varies, but radios and the display dominate.
 
 use crate::resources::ResourceReading;
-use serde::{Deserialize, Serialize};
 
 /// Battery state of a device.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BatteryModel {
     /// Remaining charge in percent.
     pub level_pct: f64,

@@ -1,9 +1,8 @@
 //! Client device profiles (§3.2's testbed hardware).
 
-use serde::{Deserialize, Serialize};
 
 /// A display resolution, width × height per eye.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Resolution {
     /// Pixels wide.
     pub width: u32,
@@ -30,7 +29,7 @@ impl std::fmt::Display for Resolution {
 }
 
 /// The kinds of client device in the study.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceKind {
     /// Oculus Quest 2: untethered, local rendering on mobile silicon.
     Quest2,
@@ -41,7 +40,7 @@ pub enum DeviceKind {
 }
 
 /// A client device profile.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceProfile {
     /// Device kind.
     pub kind: DeviceKind,

@@ -9,11 +9,10 @@
 use crate::battery::BatteryModel;
 use crate::render::{FpsReading, RenderModel};
 use crate::resources::{RenderLoad, ResourceReading};
-use serde::{Deserialize, Serialize};
 use svr_netsim::SimTime;
 
 /// One per-second sample.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MetricSample {
     /// Sample timestamp.
     pub ts: SimTime,
@@ -40,7 +39,7 @@ pub struct Monitor {
 }
 
 /// Aggregates over a run (or a slice of one).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MonitorSummary {
     /// Mean FPS.
     pub avg_fps: f64,

@@ -8,10 +8,9 @@
 
 use crate::device::DeviceProfile;
 use crate::resources::{RenderLoad, ResourceModel};
-use serde::{Deserialize, Serialize};
 
 /// One frame-rate measurement.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FpsReading {
     /// Delivered frames per second (≤ refresh rate).
     pub fps: f64,

@@ -8,10 +8,9 @@
 //! avatar with Worlds owning the largest footprint (~2 GB at 15 users).
 //! A [`PerfProfile`] holds those calibrated coefficients per platform.
 
-use serde::{Deserialize, Serialize};
 
 /// Instantaneous client load.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RenderLoad {
     /// Avatars currently visible in the viewport (self excluded).
     pub visible_avatars: f64,
@@ -33,7 +32,7 @@ impl RenderLoad {
 }
 
 /// Calibrated per-platform performance coefficients.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PerfProfile {
     /// Platform label.
     pub name: &'static str,
@@ -147,7 +146,7 @@ impl PerfProfile {
 }
 
 /// A resource measurement at one instant.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ResourceReading {
     /// CPU utilisation, % (capped at 100).
     pub cpu: f64,

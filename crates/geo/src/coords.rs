@@ -7,11 +7,10 @@
 //! numbers: ~2-3 ms to a nearby (same-metro) server, ~72 ms east-coast US
 //! to west-coast US, ~140-150 ms Europe to the US west coast.
 
-use serde::{Deserialize, Serialize};
 use svr_netsim::SimDuration;
 
 /// A point on the globe.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GeoPoint {
     /// Latitude in degrees (+N).
     pub lat: f64,
@@ -61,7 +60,6 @@ pub fn one_way_between(a: GeoPoint, b: GeoPoint) -> SimDuration {
 mod tests {
     use super::*;
     use crate::sites::Site;
-    use proptest::prelude::*;
 
     #[test]
     fn distance_known_pairs() {
@@ -113,27 +111,62 @@ mod tests {
         assert!((1.5..4.0).contains(&rtt), "metro RTT {rtt} ms");
     }
 
-    proptest! {
-        #[test]
-        fn prop_distance_nonnegative_and_bounded(
-            lat1 in -90.0f64..90.0, lon1 in -180.0f64..180.0,
-            lat2 in -90.0f64..90.0, lon2 in -180.0f64..180.0,
-        ) {
-            let d = distance_km(GeoPoint::new(lat1, lon1), GeoPoint::new(lat2, lon2));
-            prop_assert!(d >= 0.0);
+    /// Deterministic seeded-loop fallbacks for the proptest versions below:
+    /// always compiled, so the properties stay covered offline.
+    #[test]
+    fn prop_distance_nonnegative_and_bounded_seeded() {
+        let mut rng = svr_netsim::SimRng::seed_from_u64(0x6E0_0001);
+        for _case in 0..256 {
+            let p1 = GeoPoint::new(rng.range_f64(-90.0, 90.0), rng.range_f64(-180.0, 180.0));
+            let p2 = GeoPoint::new(rng.range_f64(-90.0, 90.0), rng.range_f64(-180.0, 180.0));
+            let d = distance_km(p1, p2);
+            assert!(d >= 0.0);
             // No two points are farther apart than half the circumference.
-            prop_assert!(d <= std::f64::consts::PI * 6_371.0 + 1.0);
+            assert!(d <= std::f64::consts::PI * 6_371.0 + 1.0);
         }
+    }
 
-        #[test]
-        fn prop_rtt_monotone_with_identity(
-            lat in -80.0f64..80.0, lon in -170.0f64..170.0,
-        ) {
+    #[test]
+    fn prop_rtt_monotone_with_identity_seeded() {
+        let mut rng = svr_netsim::SimRng::seed_from_u64(0x6E0_0002);
+        for _case in 0..256 {
+            let lat = rng.range_f64(-80.0, 80.0);
+            let lon = rng.range_f64(-170.0, 170.0);
             let a = GeoPoint::new(lat, lon);
             let near = GeoPoint::new(lat + 0.5, lon);
             let far = GeoPoint::new(lat + 8.0, lon);
-            prop_assert!(rtt_between(a, near) <= rtt_between(a, far));
-            prop_assert!(rtt_between(a, a).as_millis_f64() >= 1.0);
+            assert!(rtt_between(a, near) <= rtt_between(a, far));
+            assert!(rtt_between(a, a).as_millis_f64() >= 1.0);
+        }
+    }
+
+    #[cfg(feature = "proptests")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn prop_distance_nonnegative_and_bounded(
+                lat1 in -90.0f64..90.0, lon1 in -180.0f64..180.0,
+                lat2 in -90.0f64..90.0, lon2 in -180.0f64..180.0,
+            ) {
+                let d = distance_km(GeoPoint::new(lat1, lon1), GeoPoint::new(lat2, lon2));
+                prop_assert!(d >= 0.0);
+                // No two points are farther apart than half the circumference.
+                prop_assert!(d <= std::f64::consts::PI * 6_371.0 + 1.0);
+            }
+
+            #[test]
+            fn prop_rtt_monotone_with_identity(
+                lat in -80.0f64..80.0, lon in -170.0f64..170.0,
+            ) {
+                let a = GeoPoint::new(lat, lon);
+                let near = GeoPoint::new(lat + 0.5, lon);
+                let far = GeoPoint::new(lat + 8.0, lon);
+                prop_assert!(rtt_between(a, near) <= rtt_between(a, far));
+                prop_assert!(rtt_between(a, a).as_millis_f64() >= 1.0);
+            }
         }
     }
 }

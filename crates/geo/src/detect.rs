@@ -14,10 +14,9 @@
 use crate::pools::ServerPool;
 use crate::sites::Site;
 use crate::traceroute::{traceroute, TraceResult};
-use serde::{Deserialize, Serialize};
 
 /// Outcome of the detection algorithm.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AnycastVerdict {
     /// The algorithm's answer.
     pub is_anycast: bool,

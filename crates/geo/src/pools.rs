@@ -12,12 +12,11 @@
 use crate::coords::rtt_between;
 use crate::sites::Site;
 use crate::whois::{anycast_ip, server_hostname, server_ip, Owner};
-use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
 use svr_netsim::SimDuration;
 
 /// How a pool is addressed.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Addressing {
     /// One fixed datacenter; all users connect there.
     Unicast(Site),
@@ -42,7 +41,7 @@ pub struct ServerPool {
 }
 
 /// The server a user was assigned.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Assignment {
     /// Site actually serving the user.
     pub site: Site,

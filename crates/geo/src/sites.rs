@@ -7,11 +7,10 @@
 //! worldwide.
 
 use crate::coords::GeoPoint;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Coarse world region, used in reports ("Western U.S.", "Eastern U.S.").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Region {
     /// Eastern United States.
     EasternUs,
@@ -38,7 +37,7 @@ impl fmt::Display for Region {
 }
 
 /// A specific site (vantage point or datacenter).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Site {
     // --- vantage points ---
     /// The paper's primary testbed: a campus on the US east coast.

@@ -11,12 +11,11 @@
 use crate::coords::rtt_between;
 use crate::pools::ServerPool;
 use crate::sites::Site;
-use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
 use svr_netsim::SimDuration;
 
 /// One traceroute hop.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Hop {
     /// Responding address.
     pub ip: Ipv4Addr,
@@ -27,7 +26,7 @@ pub struct Hop {
 }
 
 /// A full trace to a pool from one vantage.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceResult {
     /// Where the trace was run from.
     pub vantage: Site,

@@ -7,12 +7,11 @@
 //! that maps them back to owners.
 
 use crate::sites::Site;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::net::Ipv4Addr;
 
 /// Server operators seen in the study.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Owner {
     /// Microsoft (AltspaceVR).
     Microsoft,

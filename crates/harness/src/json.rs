@@ -1,0 +1,245 @@
+//! A dependency-free JSON document model and stable pretty-printer.
+//!
+//! The harness writes one artifact per experiment plus a telemetry file;
+//! both must be **byte-stable**: the same inputs must always serialize
+//! to the same bytes, regardless of `--jobs` or platform. To guarantee
+//! that without pulling in `serde_json` (the workspace builds with zero
+//! external dependencies, see `DESIGN.md`), this module keeps object
+//! members in insertion order (a `Vec`, not a hash map) and formats
+//! numbers with Rust's shortest-round-trip float formatting, which is
+//! fully specified and identical on every platform.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+///
+/// Objects preserve insertion order so serialization is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer, printed without a fractional part.
+    U64(u64),
+    /// A signed integer, printed without a fractional part.
+    I64(i64),
+    /// A float, printed with shortest-round-trip formatting.
+    /// Non-finite values serialize as `null` (JSON has no NaN/Inf).
+    Num(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; members keep insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object builder.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Append a member to an object (panics if `self` is not an object).
+    pub fn set(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(members) => members.push((key.to_string(), value.into())),
+            _ => panic!("Json::set on non-object"),
+        }
+        self
+    }
+
+    /// Serialize with two-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Num(x) => write_f64(out, *x),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_f64(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    // `{}` on f64 is the shortest string that round-trips, which is a
+    // deterministic function of the bits. Integral floats print without
+    // a dot ("3"); keep that (still valid JSON, still stable).
+    let _ = write!(out, "{x}");
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::U64(n)
+    }
+}
+impl From<u32> for Json {
+    fn from(n: u32) -> Json {
+        Json::U64(n as u64)
+    }
+}
+impl From<u16> for Json {
+    fn from(n: u16) -> Json {
+        Json::U64(n as u64)
+    }
+}
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::U64(n as u64)
+    }
+}
+impl From<i64> for Json {
+    fn from(n: i64) -> Json {
+        Json::I64(n)
+    }
+}
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+impl From<f32> for Json {
+    fn from(x: f32) -> Json {
+        Json::Num(x as f64)
+    }
+}
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(items: Vec<Json>) -> Json {
+        Json::Arr(items)
+    }
+}
+
+/// An array from an iterator of convertible items.
+pub fn arr<T: Into<Json>>(items: impl IntoIterator<Item = T>) -> Json {
+    Json::Arr(items.into_iter().map(Into::into).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_is_stable_and_ordered() {
+        let doc = Json::obj()
+            .set("b", 1u64)
+            .set("a", Json::Arr(vec![Json::Num(0.1), Json::Null, Json::Bool(true)]))
+            .set("s", "line\n\"quote\"");
+        let text = doc.pretty();
+        // Insertion order kept: "b" before "a".
+        assert!(text.find("\"b\"").unwrap() < text.find("\"a\"").unwrap());
+        assert!(text.contains("0.1"));
+        assert!(text.contains("\\n\\\"quote\\\""));
+        assert_eq!(text, doc.pretty(), "same document, same bytes");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::Num(f64::NAN).pretty(), "null\n");
+        assert_eq!(Json::Num(f64::INFINITY).pretty(), "null\n");
+    }
+
+    #[test]
+    fn empty_containers_print_compactly() {
+        assert_eq!(Json::obj().pretty(), "{}\n");
+        assert_eq!(Json::Arr(vec![]).pretty(), "[]\n");
+    }
+
+    #[test]
+    fn control_chars_are_escaped() {
+        assert_eq!(Json::Str("\u{1}".into()).pretty(), "\"\\u0001\"\n");
+    }
+}

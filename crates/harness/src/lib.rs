@@ -1,0 +1,48 @@
+//! # svr-harness
+//!
+//! A hermetic, parallel experiment harness for the paper reproduction.
+//!
+//! The crate turns the experiment modules of `svr-core` into a uniform,
+//! schedulable registry:
+//!
+//! - [`experiment`] defines the [`Experiment`] descriptor — a paper
+//!   artefact plus a builder that expands it into independent
+//!   [`WorkUnit`]s — and the fidelity presets ([`Fidelity::Quick`] /
+//!   [`Fidelity::Full`]).
+//! - [`registry`] registers every module in `svr-core::experiments`
+//!   (tables 1–4, figures 2–13, viewport, vantage, disruption,
+//!   takeaways, ablations), sliced along (platform × variant) axes.
+//! - [`scheduler`] fans units across a work-stealing thread pool built
+//!   on `std::thread::scope`. Each simulation stays single-threaded and
+//!   bit-deterministic; results are merged by unit index, so artifacts
+//!   are **byte-identical for any `--jobs` value**.
+//! - [`json`] is a dependency-free JSON model with a byte-stable
+//!   pretty-printer (insertion-ordered objects, shortest-round-trip
+//!   floats) — the workspace builds with zero external dependencies.
+//! - [`telemetry`] quarantines everything schedule-dependent (wall
+//!   times, trials/sec, simulated packets/sec, worker utilisation, git
+//!   revision) into the separate `BENCH_harness.json`.
+//! - [`runner`] orchestrates a run end to end and writes one
+//!   `<name>.json` artifact per experiment.
+//!
+//! The CLI lives in `examples/reproduce_all.rs` at the workspace root:
+//!
+//! ```sh
+//! cargo run --release --example reproduce_all -- --list
+//! cargo run --release --example reproduce_all -- --only fig7,table3 --jobs 8 --out artifacts/
+//! cargo run --release --example reproduce_all -- --full
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod json;
+pub mod registry;
+pub mod runner;
+pub mod scheduler;
+pub mod telemetry;
+
+pub use experiment::{Artifact, Experiment, Fidelity, RunCtx, UnitResult, WorkUnit};
+pub use json::Json;
+pub use runner::{run_selected, write_artifacts, RunOptions, RunOutput};

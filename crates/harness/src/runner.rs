@@ -1,0 +1,156 @@
+//! The run orchestrator: select → expand → schedule → merge → write.
+//!
+//! `run_selected` is the single entry point used by the CLI
+//! (`examples/reproduce_all.rs`) and by the determinism tests. It takes
+//! a selection of registry names, expands each experiment into work
+//! units, fans the units across the scheduler, merges results in unit
+//! order, and (optionally) writes `<out>/<name>.json` per experiment
+//! plus `<out>/BENCH_harness.json`.
+
+use std::io;
+use std::path::Path;
+
+use crate::experiment::{merge, Artifact, Experiment, RunCtx};
+use crate::registry;
+use crate::scheduler;
+use crate::telemetry;
+
+/// Options for one harness run.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Shared fidelity + seed context.
+    pub ctx: RunCtx,
+    /// Worker threads (clamped to at least 1 and at most the unit count).
+    pub jobs: usize,
+    /// Registry names to run; `None` runs everything, in paper order.
+    pub only: Option<Vec<String>>,
+}
+
+/// What a run produced.
+pub struct RunOutput {
+    /// Merged artifacts, in registry (paper) order.
+    pub artifacts: Vec<Artifact>,
+    /// The `BENCH_harness.json` document for this run.
+    pub bench: crate::json::Json,
+}
+
+/// An `--only` selection named an experiment the registry doesn't have.
+#[derive(Debug)]
+pub struct UnknownExperiment {
+    /// The unmatched name.
+    pub name: String,
+    /// Valid names, for the error message.
+    pub known: Vec<&'static str>,
+}
+
+impl std::fmt::Display for UnknownExperiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown experiment `{}`; known: {}", self.name, self.known.join(", "))
+    }
+}
+
+impl std::error::Error for UnknownExperiment {}
+
+/// Resolve `only` against the registry, preserving paper order.
+pub fn select(only: Option<&[String]>) -> Result<Vec<Experiment>, UnknownExperiment> {
+    let all = registry::all();
+    let Some(only) = only else { return Ok(all) };
+    for name in only {
+        if !all.iter().any(|e| e.name == name) {
+            return Err(UnknownExperiment {
+                name: name.clone(),
+                known: all.iter().map(|e| e.name).collect(),
+            });
+        }
+    }
+    Ok(all.into_iter().filter(|e| only.iter().any(|n| n == e.name)).collect())
+}
+
+/// Run the selected experiments and merge their artifacts.
+pub fn run_selected(opts: &RunOptions) -> Result<RunOutput, UnknownExperiment> {
+    let experiments = select(opts.only.as_deref())?;
+    let names: Vec<&'static str> = experiments.iter().map(|e| e.name).collect();
+
+    // Expand every experiment into (experiment index, unit) pairs. The
+    // flattened order is the deterministic "input order" the scheduler
+    // preserves in its results.
+    let mut units = Vec::new();
+    for (exp_index, exp) in experiments.iter().enumerate() {
+        for unit in (exp.build_units)(&opts.ctx) {
+            units.push((exp_index, unit));
+        }
+    }
+
+    let (completed, stats) = scheduler::run(units, opts.jobs);
+    let rows = telemetry::per_experiment(&names, &completed);
+    let bench = telemetry::bench_document(&opts.ctx, opts.jobs, &stats, &rows);
+
+    // Completed units are in input order, i.e. grouped by experiment and
+    // in build order within each experiment — exactly what merge needs.
+    let mut buckets: Vec<Vec<(String, crate::experiment::UnitResult)>> =
+        experiments.iter().map(|_| Vec::new()).collect();
+    for unit in completed {
+        buckets[unit.exp_index].push((unit.label, unit.result));
+    }
+    let artifacts = experiments
+        .iter()
+        .zip(buckets)
+        .map(|(exp, results)| merge(exp, &opts.ctx, results))
+        .collect();
+
+    Ok(RunOutput { artifacts, bench })
+}
+
+/// Write artifacts and telemetry under `out_dir` (created if missing).
+/// Returns the paths written, artifacts first, `BENCH_harness.json` last.
+pub fn write_artifacts(out_dir: &Path, output: &RunOutput) -> io::Result<Vec<std::path::PathBuf>> {
+    std::fs::create_dir_all(out_dir)?;
+    let mut paths = Vec::new();
+    for artifact in &output.artifacts {
+        let path = out_dir.join(format!("{}.json", artifact.name));
+        std::fs::write(&path, artifact.json.pretty())?;
+        paths.push(path);
+    }
+    let bench_path = out_dir.join("BENCH_harness.json");
+    std::fs::write(&bench_path, output.bench.pretty())?;
+    paths.push(bench_path);
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Fidelity;
+
+    #[test]
+    fn select_keeps_paper_order_and_rejects_unknown_names() {
+        let picked = select(Some(&["fig7".to_string(), "table1".to_string()])).unwrap();
+        let names: Vec<_> = picked.iter().map(|e| e.name).collect();
+        assert_eq!(names, ["table1", "fig7"], "registry order wins over flag order");
+
+        let Err(err) = select(Some(&["fig99".to_string()])) else {
+            panic!("unknown name must be rejected");
+        };
+        assert!(err.to_string().contains("fig99"));
+        assert!(err.to_string().contains("fig7"));
+    }
+
+    #[test]
+    fn run_selected_produces_one_artifact_per_experiment() {
+        let opts = RunOptions {
+            ctx: RunCtx { fidelity: Fidelity::Quick, seed: 0 },
+            jobs: 2,
+            only: Some(vec!["table1".to_string(), "vantage".to_string()]),
+        };
+        let out = run_selected(&opts).unwrap();
+        assert_eq!(out.artifacts.len(), 2);
+        assert_eq!(out.artifacts[0].name, "table1");
+        assert_eq!(out.artifacts[1].name, "vantage");
+        for artifact in &out.artifacts {
+            let text = artifact.json.pretty();
+            assert!(text.contains("\"experiment\""), "artifact envelope missing");
+            assert!(!artifact.display.is_empty());
+        }
+        assert!(out.bench.pretty().contains("\"sim_packets_per_sec\""));
+    }
+}

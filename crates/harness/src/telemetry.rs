@@ -1,0 +1,202 @@
+//! Run telemetry: the `BENCH_harness.json` document.
+//!
+//! Everything schedule-dependent (wall times, throughput, worker
+//! utilisation) lives here and **only** here: the experiment artifacts
+//! are byte-deterministic, so timing must never leak into them. The
+//! telemetry document is rebuilt every run and is not expected to be
+//! reproducible.
+
+use std::time::Duration;
+
+use crate::experiment::RunCtx;
+use crate::json::Json;
+use crate::scheduler::{CompletedUnit, PoolStats};
+
+/// Per-experiment roll-up of its units' telemetry.
+pub struct ExperimentTelemetry {
+    /// Registry name.
+    pub name: &'static str,
+    /// Units the experiment expanded into.
+    pub units: usize,
+    /// Simulated trials (sessions) across all units.
+    pub trials: u64,
+    /// Sum of unit wall times (CPU-seconds of simulation).
+    pub busy: Duration,
+    /// Simulation events processed.
+    pub sim_events: u64,
+    /// Simulated packets delivered.
+    pub sim_packets: u64,
+}
+
+/// Roll completed units up into per-experiment telemetry, in experiment
+/// index order. `names[i]` is the registry name of experiment index `i`.
+pub fn per_experiment(names: &[&'static str], completed: &[CompletedUnit]) -> Vec<ExperimentTelemetry> {
+    let mut rows: Vec<ExperimentTelemetry> = names
+        .iter()
+        .map(|name| ExperimentTelemetry {
+            name,
+            units: 0,
+            trials: 0,
+            busy: Duration::ZERO,
+            sim_events: 0,
+            sim_packets: 0,
+        })
+        .collect();
+    for unit in completed {
+        let row = &mut rows[unit.exp_index];
+        row.units += 1;
+        row.trials += unit.result.trials;
+        row.busy += unit.elapsed;
+        row.sim_events += unit.sim_events;
+        row.sim_packets += unit.sim_packets;
+    }
+    rows
+}
+
+fn per_second(count: u64, busy: Duration) -> f64 {
+    let secs = busy.as_secs_f64();
+    if secs > 0.0 {
+        count as f64 / secs
+    } else {
+        0.0
+    }
+}
+
+/// Read the current git revision by parsing `.git/HEAD` directly (no
+/// subprocess, works without git in `PATH`). Returns `None` outside a
+/// repository.
+pub fn git_rev() -> Option<String> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let head_path = dir.join(".git").join("HEAD");
+        if let Ok(head) = std::fs::read_to_string(&head_path) {
+            let head = head.trim();
+            return if let Some(reference) = head.strip_prefix("ref: ") {
+                let by_path = std::fs::read_to_string(dir.join(".git").join(reference))
+                    .ok()
+                    .map(|s| s.trim().to_string());
+                by_path.or_else(|| {
+                    // Packed refs: "<sha> <refname>" lines.
+                    let packed = std::fs::read_to_string(dir.join(".git").join("packed-refs")).ok()?;
+                    packed.lines().find_map(|line| {
+                        let (sha, name) = line.split_once(' ')?;
+                        (name == reference).then(|| sha.to_string())
+                    })
+                })
+            } else {
+                Some(head.to_string()) // detached HEAD
+            };
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Build the `BENCH_harness.json` document.
+pub fn bench_document(
+    ctx: &RunCtx,
+    jobs_requested: usize,
+    stats: &PoolStats,
+    experiments: &[ExperimentTelemetry],
+) -> Json {
+    let wall_s = stats.wall.as_secs_f64();
+    let total_busy: Duration = stats.busy.iter().sum();
+    let utilisation = if wall_s > 0.0 && stats.workers > 0 {
+        total_busy.as_secs_f64() / (wall_s * stats.workers as f64)
+    } else {
+        0.0
+    };
+
+    let workers = stats
+        .busy
+        .iter()
+        .enumerate()
+        .map(|(i, busy)| {
+            Json::obj().set("worker", i).set("busy_s", busy.as_secs_f64()).set(
+                "utilisation",
+                if wall_s > 0.0 { busy.as_secs_f64() / wall_s } else { 0.0 },
+            )
+        })
+        .collect();
+
+    let per_exp = experiments
+        .iter()
+        .map(|row| {
+            Json::obj()
+                .set("experiment", row.name)
+                .set("units", row.units)
+                .set("trials", row.trials)
+                .set("wall_s", row.busy.as_secs_f64())
+                .set("trials_per_sec", per_second(row.trials, row.busy))
+                .set("sim_events", row.sim_events)
+                .set("sim_packets", row.sim_packets)
+                .set("sim_packets_per_sec", per_second(row.sim_packets, row.busy))
+        })
+        .collect();
+
+    Json::obj()
+        .set("harness", "svr-harness")
+        .set("fidelity", ctx.fidelity.label())
+        .set("seed", ctx.seed)
+        .set("git_rev", git_rev().map(Json::Str).unwrap_or(Json::Null))
+        .set("jobs_requested", jobs_requested)
+        .set("workers", stats.workers)
+        .set("wall_s", wall_s)
+        .set("steals", stats.steals)
+        .set("pool_utilisation", utilisation)
+        .set("worker_busy", Json::Arr(workers))
+        .set("experiments", Json::Arr(per_exp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Fidelity;
+
+    #[test]
+    fn git_rev_resolves_in_this_repo() {
+        // The repo this crate lives in is git-managed; the rev must be a
+        // 40-hex sha (loose or packed ref, or detached HEAD).
+        let rev = git_rev().expect("inside a git repository");
+        assert_eq!(rev.len(), 40, "unexpected rev: {rev}");
+        assert!(rev.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn bench_document_has_the_contract_fields() {
+        let ctx = RunCtx { fidelity: Fidelity::Quick, seed: 7 };
+        let stats = PoolStats {
+            workers: 2,
+            wall: Duration::from_millis(10),
+            busy: vec![Duration::from_millis(6), Duration::from_millis(4)],
+            steals: 1,
+        };
+        let rows = vec![ExperimentTelemetry {
+            name: "fig7",
+            units: 5,
+            trials: 10,
+            busy: Duration::from_millis(10),
+            sim_events: 1000,
+            sim_packets: 400,
+        }];
+        let doc = bench_document(&ctx, 2, &stats, &rows).pretty();
+        for field in [
+            "\"fidelity\"",
+            "\"seed\"",
+            "\"git_rev\"",
+            "\"workers\"",
+            "\"wall_s\"",
+            "\"trials_per_sec\"",
+            "\"sim_packets_per_sec\"",
+            "\"pool_utilisation\"",
+        ] {
+            assert!(doc.contains(field), "missing {field} in {doc}");
+        }
+    }
+
+    #[test]
+    fn zero_busy_time_does_not_divide_by_zero() {
+        assert_eq!(per_second(100, Duration::ZERO), 0.0);
+    }
+}

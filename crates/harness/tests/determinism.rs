@@ -1,0 +1,87 @@
+//! The harness's central contract: artifacts are byte-identical for any
+//! worker count, and the registry covers the whole experiment surface.
+//!
+//! A fast but representative selection exercises the merge machinery —
+//! single-unit experiments (table1, table2, vantage) and a
+//! multi-unit per-platform sweep (fig3) — under `jobs = 1` vs
+//! `jobs = 8`, comparing the serialized bytes of every artifact.
+//! (Header-merged tables share the exact same slot-ordered merge path;
+//! their byte-stability is covered by the `experiment::merge` unit
+//! tests, keeping this integration test seconds, not minutes.)
+
+use svr_harness::{registry, run_selected, Fidelity, RunCtx, RunOptions};
+
+fn run_with_jobs(jobs: usize, only: &[&str]) -> Vec<(String, String, String)> {
+    let opts = RunOptions {
+        ctx: RunCtx { fidelity: Fidelity::Quick, seed: 0 },
+        jobs,
+        only: Some(only.iter().map(|s| s.to_string()).collect()),
+    };
+    run_selected(&opts)
+        .expect("selection is valid")
+        .artifacts
+        .into_iter()
+        .map(|a| (a.name.to_string(), a.json.pretty(), a.display))
+        .collect()
+}
+
+#[test]
+fn artifacts_are_byte_identical_for_jobs_1_and_8() {
+    // fig3 has two per-platform units (real parallel slicing);
+    // table1/table2/vantage one each.
+    let selection = ["table1", "table2", "vantage", "fig3"];
+    let sequential = run_with_jobs(1, &selection);
+    let parallel = run_with_jobs(8, &selection);
+
+    assert_eq!(sequential.len(), parallel.len());
+    for ((name_1, json_1, display_1), (name_8, json_8, display_8)) in
+        sequential.into_iter().zip(parallel)
+    {
+        assert_eq!(name_1, name_8);
+        assert_eq!(json_1, json_8, "{name_1}: artifact bytes differ between jobs=1 and jobs=8");
+        assert_eq!(display_1, display_8, "{name_1}: console report differs");
+    }
+}
+
+#[test]
+fn reruns_are_byte_identical_even_with_a_custom_seed() {
+    // Same seed twice → same bytes; the user seed changes the numbers
+    // but not the determinism.
+    let opts = RunOptions {
+        ctx: RunCtx { fidelity: Fidelity::Quick, seed: 0xC0FFEE },
+        jobs: 4,
+        only: Some(vec!["fig3".to_string()]),
+    };
+    let first = run_selected(&opts).unwrap();
+    let second = run_selected(&opts).unwrap();
+    assert_eq!(first.artifacts[0].json.pretty(), second.artifacts[0].json.pretty());
+
+    let baseline = run_with_jobs(1, &["fig3"]);
+    assert_ne!(
+        first.artifacts[0].json.pretty(),
+        baseline[0].1,
+        "a nonzero --seed must actually remix the experiment seeds"
+    );
+}
+
+#[test]
+fn registry_covers_every_experiment_module_in_core() {
+    // `pub mod <name>;` lines in svr-core's experiments/mod.rs are the
+    // source of truth for what the crate can reproduce; each must be
+    // runnable through the harness.
+    let mod_rs = include_str!("../../core/src/experiments/mod.rs");
+    let registered = registry::all();
+    let mut modules = 0;
+    for line in mod_rs.lines() {
+        let Some(module) = line.trim().strip_prefix("pub mod ").and_then(|m| m.strip_suffix(';'))
+        else {
+            continue;
+        };
+        modules += 1;
+        assert!(
+            registered.iter().any(|e| e.name == module),
+            "experiment module `{module}` is missing from the harness registry"
+        );
+    }
+    assert!(modules >= 18, "expected the full experiment surface, found {modules} modules");
+}

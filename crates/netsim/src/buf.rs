@@ -1,0 +1,369 @@
+//! In-tree byte buffers.
+//!
+//! A minimal, dependency-free replacement for the `bytes` crate covering
+//! exactly the surface the simulator uses: an immutable, cheaply-cloneable
+//! [`Bytes`] (shared `Arc<[u8]>` storage with zero-copy `clone`/`slice`)
+//! and a growable [`BytesMut`] writer with big-endian `put_*` methods,
+//! `split_to` framing, and `freeze`. Keeping this in-tree is part of the
+//! offline/no-deps policy: the default feature set of the workspace must
+//! build and test with no network access and no registry cache.
+
+use std::fmt;
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable, contiguous slice of memory.
+///
+/// `clone` and [`slice`](Bytes::slice) are O(1): they share the same
+/// reference-counted allocation and only adjust the view window.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer (does not allocate a backing store per call).
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// A buffer viewing a static slice (copied once into shared storage).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(data)
+    }
+
+    /// Copy `data` into a new shared buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        let arc: Arc<[u8]> = Arc::from(data);
+        let len = arc.len();
+        Bytes { data: arc, start: 0, end: len }
+    }
+
+    /// Number of bytes in the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A zero-copy sub-view of this buffer.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds or decreasing.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(begin <= end, "slice range reversed: {begin}..{end}");
+        assert!(end <= len, "slice out of bounds: {end} > {len}");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + begin,
+            end: self.start + end,
+        }
+    }
+
+    /// The bytes as a plain slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            // Match the escape style of the `bytes` crate closely enough
+            // for test failure messages to stay readable.
+            match b {
+                b'"' => write!(f, "\\\"")?,
+                b'\\' => write!(f, "\\\\")?,
+                b'\n' => write!(f, "\\n")?,
+                b'\r' => write!(f, "\\r")?,
+                b'\t' => write!(f, "\\t")?,
+                0x20..=0x7e => write!(f, "{}", b as char)?,
+                _ => write!(f, "\\x{b:02x}")?,
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let arc: Arc<[u8]> = Arc::from(v);
+        let len = arc.len();
+        Bytes { data: arc, start: 0, end: len }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(v: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(m: BytesMut) -> Self {
+        m.freeze()
+    }
+}
+
+/// A growable byte buffer for assembling frames.
+///
+/// Writes append at the end; [`split_to`](BytesMut::split_to) removes a
+/// framed prefix; [`freeze`](BytesMut::freeze) converts to an immutable
+/// [`Bytes`] without copying.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with pre-reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(capacity) }
+    }
+
+    /// Number of bytes written.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Append a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    /// Append a big-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `i16`.
+    pub fn put_i16(&mut self, v: i16) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian IEEE-754 `f32`.
+    pub fn put_f32(&mut self, v: f32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a slice.
+    pub fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Append `cnt` copies of `val`.
+    pub fn put_bytes(&mut self, val: u8, cnt: usize) {
+        self.data.resize(self.data.len() + cnt, val);
+    }
+
+    /// Append a slice (`Vec`-style alias of [`put_slice`](Self::put_slice)).
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Remove and return the first `at` bytes, keeping the rest.
+    ///
+    /// # Panics
+    /// Panics if `at > len`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.data.len(), "split_to out of bounds");
+        let rest = self.data.split_off(at);
+        BytesMut { data: std::mem::replace(&mut self.data, rest) }
+    }
+
+    /// Convert to an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_share_storage_on_clone_and_slice() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let c = b.clone();
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        assert_eq!(c, b);
+        assert!(Arc::ptr_eq(&b.data, &s.data));
+    }
+
+    #[test]
+    fn slice_forms() {
+        let b = Bytes::from(vec![0, 1, 2, 3]);
+        assert_eq!(&b.slice(..)[..], &[0, 1, 2, 3]);
+        assert_eq!(&b.slice(2..)[..], &[2, 3]);
+        assert_eq!(&b.slice(..2)[..], &[0, 1]);
+        assert_eq!(&b.slice(1..=2)[..], &[1, 2]);
+        let nested = b.slice(1..).slice(1..);
+        assert_eq!(&nested[..], &[2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let b = Bytes::from(vec![0, 1]);
+        let _ = b.slice(..3);
+    }
+
+    #[test]
+    fn put_methods_are_big_endian() {
+        let mut m = BytesMut::with_capacity(16);
+        m.put_u8(0xAB);
+        m.put_u16(0x0102);
+        m.put_u32(0x03040506);
+        m.put_u64(0x0708090A0B0C0D0E);
+        let b = m.freeze();
+        assert_eq!(
+            &b[..],
+            &[0xAB, 1, 2, 3, 4, 5, 6, 7, 8, 9, 0x0A, 0x0B, 0x0C, 0x0D, 0x0E]
+        );
+    }
+
+    #[test]
+    fn put_bytes_and_slices() {
+        let mut m = BytesMut::new();
+        m.put_slice(b"ab");
+        m.extend_from_slice(b"cd");
+        m.put_bytes(0xFF, 3);
+        assert_eq!(&m[..], b"abcd\xff\xff\xff");
+    }
+
+    #[test]
+    fn split_to_frames() {
+        let mut m = BytesMut::new();
+        m.put_slice(b"headbody");
+        let head = m.split_to(4);
+        assert_eq!(&head[..], b"head");
+        assert_eq!(&m[..], b"body");
+        let empty = m.split_to(0);
+        assert!(empty.is_empty());
+        assert_eq!(&m[..], b"body");
+    }
+
+    #[test]
+    fn equality_across_types() {
+        let b = Bytes::from_static(b"abc");
+        assert_eq!(b, Bytes::copy_from_slice(b"abc"));
+        assert_eq!(b, *b"abc");
+        assert_eq!(b, b"abc"[..]);
+        assert_eq!(b, b"abc".to_vec());
+        assert_ne!(b, Bytes::new());
+    }
+
+    #[test]
+    fn debug_is_printable() {
+        let b = Bytes::from_static(b"a\"\n\x01");
+        assert_eq!(format!("{b:?}"), "b\"a\\\"\\n\\x01\"");
+    }
+}

@@ -10,11 +10,10 @@ use crate::flow::{FlowKey, FlowStats, ThroughputSeries};
 use crate::node::NodeId;
 use crate::packet::{Packet, Proto};
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Traffic direction relative to the client device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// Client → server.
     Uplink,
@@ -33,7 +32,7 @@ impl Direction {
 }
 
 /// One captured packet.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CaptureRecord {
     /// Capture timestamp (when the packet transited the tap node).
     pub ts: SimTime,
@@ -153,7 +152,7 @@ pub fn flow_table(records: &[CaptureRecord]) -> HashMap<FlowKey, FlowStats> {
 mod tests {
     use super::*;
     use crate::packet::TransportHeader;
-    use bytes::Bytes;
+    use crate::buf::Bytes;
 
     fn mk_pkt(src: u32, dst: u32, proto: Proto, payload: usize, id: u64) -> Packet {
         let mut p = Packet::new(

@@ -1,0 +1,69 @@
+//! Thread-local simulation counters for run telemetry.
+//!
+//! The experiment harness (`svr-harness`) reports simulated packets/sec
+//! and events/sec per experiment. Each simulation is single-threaded, so
+//! plain thread-local tallies observe exactly the work done by the
+//! worker thread running that unit: the scheduler snapshots the counters
+//! around each work unit and attributes the delta. The counters are pure
+//! observers — they never feed back into simulation behaviour, so they
+//! cannot perturb determinism.
+
+use std::cell::Cell;
+
+thread_local! {
+    static EVENTS: Cell<u64> = const { Cell::new(0) };
+    static DELIVERIES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A point-in-time reading of this thread's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterSnapshot {
+    /// Discrete events processed (transmissions completed, hop arrivals).
+    pub events: u64,
+    /// Packets delivered to their final destination.
+    pub packets_delivered: u64,
+}
+
+impl CounterSnapshot {
+    /// Counters accumulated since `earlier` (saturating).
+    pub fn since(&self, earlier: CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            events: self.events.saturating_sub(earlier.events),
+            packets_delivered: self
+                .packets_delivered
+                .saturating_sub(earlier.packets_delivered),
+        }
+    }
+}
+
+/// Read this thread's counters.
+pub fn snapshot() -> CounterSnapshot {
+    CounterSnapshot {
+        events: EVENTS.with(Cell::get),
+        packets_delivered: DELIVERIES.with(Cell::get),
+    }
+}
+
+pub(crate) fn count_event() {
+    EVENTS.with(|c| c.set(c.get().wrapping_add(1)));
+}
+
+pub(crate) fn count_delivery() {
+    DELIVERIES.with(|c| c.set(c.get().wrapping_add(1)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_accumulate() {
+        let before = snapshot();
+        count_event();
+        count_event();
+        count_delivery();
+        let d = snapshot().since(before);
+        assert_eq!(d.events, 2);
+        assert_eq!(d.packets_delivered, 1);
+    }
+}

@@ -19,7 +19,7 @@
 //!
 //! ```
 //! use svr_netsim::{Network, NodeKind, LinkSpec, Packet, TransportHeader, Proto, SimTime};
-//! use bytes::Bytes;
+//! use svr_netsim::buf::Bytes;
 //!
 //! let mut net = Network::new(42);
 //! let a = net.add_node("U1", NodeKind::Headset);
@@ -39,7 +39,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod buf;
 pub mod capture;
+pub mod counters;
 pub mod flow;
 pub mod link;
 pub mod netem;
@@ -53,6 +55,7 @@ pub mod time;
 pub mod units;
 pub mod wire;
 
+pub use buf::{Bytes, BytesMut};
 pub use capture::{CaptureRecord, CaptureTap, Direction};
 pub use flow::{FlowKey, FlowStats, ThroughputSeries};
 pub use link::{Link, LinkId, LinkSpec};

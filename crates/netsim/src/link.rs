@@ -12,10 +12,9 @@ use crate::node::NodeId;
 use crate::queue::DropTailQueue;
 use crate::time::{SimDuration, SimTime};
 use crate::units::{Bitrate, ByteSize};
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a directed link within a [`crate::Network`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LinkId(pub(crate) u32);
 
 impl LinkId {
@@ -100,7 +99,7 @@ impl LinkSpec {
 }
 
 /// Per-link counters, exposed for experiment diagnostics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LinkStats {
     /// Packets fully serialized onto the wire.
     pub tx_packets: u64,

@@ -289,7 +289,7 @@ impl Network {
                 let idx = self.rng.index(packet.payload.len());
                 let mut bytes = packet.payload.to_vec();
                 bytes[idx] ^= 0xA5;
-                packet.payload = bytes::Bytes::from(bytes);
+                packet.payload = crate::buf::Bytes::from(bytes);
             }
         }
         if lost {
@@ -318,6 +318,7 @@ impl Network {
             tap.record(self.now, &packet, dir);
         }
         if node == packet.dst {
+            crate::counters::count_delivery();
             self.pending.push_back(Delivery { at: self.now, dst: node, packet });
         } else {
             let dst = packet.dst;
@@ -337,6 +338,7 @@ impl Network {
     fn step(&mut self) {
         let Reverse(ev) = self.events.pop().expect("step with empty queue");
         debug_assert!(ev.at >= self.now, "event in the past");
+        crate::counters::count_event();
         self.now = ev.at;
         match ev.kind {
             EventKind::TxDone { link, packet } => self.on_tx_done(link, packet),
@@ -394,7 +396,7 @@ mod tests {
     use crate::packet::{Proto, TransportHeader};
     use crate::time::SimDuration;
     use crate::units::{Bitrate, ByteSize};
-    use bytes::Bytes;
+    use crate::buf::Bytes;
 
     fn two_node_net(spec: LinkSpec) -> (Network, NodeId, NodeId) {
         let mut net = Network::new(1);

@@ -6,11 +6,10 @@
 //! taps in [`crate::capture`] use them to orient packet direction
 //! (uplink vs downlink) the same way Wireshark on the AP did.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a node within a [`crate::Network`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub(crate) u32);
 
 impl NodeId {
@@ -27,7 +26,7 @@ impl fmt::Display for NodeId {
 }
 
 /// The role a node plays in the testbed topology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NodeKind {
     /// An untethered VR headset (Oculus Quest 2 in the paper).
     Headset,

@@ -9,12 +9,11 @@
 use crate::node::NodeId;
 use crate::time::SimTime;
 use crate::units::ByteSize;
-use bytes::Bytes;
-use serde::{Deserialize, Serialize};
+use crate::buf::Bytes;
 use std::fmt;
 
 /// Transport protocol carried by a packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Proto {
     /// User Datagram Protocol — the data channel of four of the five
     /// platforms (Table 2).
@@ -47,7 +46,7 @@ impl fmt::Display for Proto {
 }
 
 /// TCP header flags (subset used by the simplified stack).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
 pub struct TcpFlags {
     /// Synchronise sequence numbers (connection setup).
     pub syn: bool,
@@ -87,7 +86,7 @@ impl TcpFlags {
 }
 
 /// Typed transport header attached to every simulated packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TransportHeader {
     /// Transport protocol.
     pub proto: Proto,

@@ -163,7 +163,7 @@ mod tests {
     use super::*;
     use crate::node::NodeId;
     use crate::packet::{Proto, TransportHeader};
-    use bytes::Bytes;
+    use crate::buf::Bytes;
 
     fn pkt(payload: &'static [u8], id: u64) -> Packet {
         let mut p = Packet::new(

@@ -5,21 +5,76 @@
 //! the experiment seed, so a run is reproducible bit-for-bit. Substreams
 //! can be forked per component so that adding a consumer in one module
 //! does not perturb the draws seen by another.
+//!
+//! # Implementation
+//!
+//! The generator is an in-tree **xoshiro256++** (Blackman & Vigna), the
+//! same algorithm `rand`'s `SmallRng` uses on 64-bit targets, seeded by
+//! expanding a 64-bit seed through **SplitMix64**. Keeping it in-tree
+//! removes the workspace's last required external dependency on the hot
+//! path and freezes the stream: the byte sequence for a given seed is
+//! part of the artifact-determinism contract and must never change
+//! silently (the harness determinism tests pin it).
+//!
+//! # Substream-fork guarantees
+//!
+//! [`SimRng::fork`] must keep three properties that the simulator relies
+//! on (components fork one substream per module so that adding a consumer
+//! in one module cannot perturb another):
+//!
+//! 1. **Determinism** — the child stream is a pure function of the
+//!    parent's seed *position* and the tag: forking the same tag at the
+//!    same point in the parent stream always yields the same child.
+//! 2. **Independence by tag** — children forked with different tags from
+//!    the same parent position produce effectively uncorrelated streams
+//!    (the tag is mixed through SplitMix64's finalizer, which is a
+//!    bijection on `u64` with full avalanche).
+//! 3. **Parent advancement** — forking consumes exactly one draw from the
+//!    parent, so sibling forks at successive positions are themselves
+//!    decorrelated, and the parent stream after a fork does not overlap
+//!    the child's.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+/// SplitMix64 finalizer: a bijective mix with full avalanche, used both
+/// for seed expansion and for fork-tag mixing. Public so callers (e.g.
+/// the experiment harness) can derive well-spread sub-seeds from a user
+/// seed without pulling in a generator.
+#[inline]
+pub fn splitmix64_mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One step of the SplitMix64 sequence (advances `state`, returns a draw).
+#[inline]
+fn splitmix64_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    splitmix64_mix(*state)
+}
 
 /// A deterministic random-number generator for simulation components.
+///
+/// xoshiro256++ with SplitMix64 seeding; see the module docs for the
+/// stream-stability and fork guarantees.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
     /// Create a generator from a 64-bit seed.
+    ///
+    /// The 256-bit xoshiro state is filled from four successive SplitMix64
+    /// draws, which guarantees a non-zero state for every seed.
     pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            s: [
+                splitmix64_next(&mut sm),
+                splitmix64_next(&mut sm),
+                splitmix64_next(&mut sm),
+                splitmix64_next(&mut sm),
+            ],
         }
     }
 
@@ -27,20 +82,34 @@ impl SimRng {
     ///
     /// The child stream is a pure function of the parent's seed position
     /// and the tag, so two components forked with different tags never
-    /// share draws.
+    /// share draws. See the module docs for the full guarantee list.
     pub fn fork(&mut self, tag: u64) -> SimRng {
-        let base = self.inner.next_u64();
-        // SplitMix64-style mixing of (base, tag) into a child seed.
-        let mut z = base ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        SimRng::seed_from_u64(z)
+        let base = self.next_u64();
+        let child_seed = splitmix64_mix(base ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        SimRng::seed_from_u64(child_seed)
     }
 
-    /// Uniform draw in `[0, 1)`.
+    /// Raw 64-bit draw (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // Standard conversion: take the top 53 bits of a u64 draw.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
@@ -54,10 +123,27 @@ impl SimRng {
         self.unit() < p
     }
 
-    /// Uniform integer in `[lo, hi]` inclusive.
+    /// Uniform integer in `[lo, hi]` inclusive, unbiased.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "empty range");
-        self.inner.gen_range(lo..=hi)
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        let n = span + 1;
+        // Lemire's widening-multiply method with rejection to remove bias.
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(n as u128);
+        let mut low = m as u64;
+        if low < n {
+            let threshold = n.wrapping_neg() % n;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(n as u128);
+                low = m as u64;
+            }
+        }
+        lo + (m >> 64) as u64
     }
 
     /// Uniform float in `[lo, hi)`.
@@ -66,7 +152,13 @@ impl SimRng {
         if lo == hi {
             return lo;
         }
-        self.inner.gen_range(lo..hi)
+        let v = lo + self.unit() * (hi - lo);
+        // Guard against rounding up to the exclusive bound.
+        if v < hi {
+            v
+        } else {
+            f64::from_bits(hi.to_bits() - 1).max(lo)
+        }
     }
 
     /// A sample from a normal distribution via Box–Muller.
@@ -101,12 +193,7 @@ impl SimRng {
     /// Pick a uniformly random element index for a slice of length `len`.
     pub fn index(&mut self, len: usize) -> usize {
         assert!(len > 0, "empty slice");
-        self.inner.gen_range(0..len)
-    }
-
-    /// Raw 64-bit draw.
-    pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        self.range_u64(0, len as u64 - 1) as usize
     }
 }
 
@@ -121,6 +208,31 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
+    }
+
+    #[test]
+    fn stream_is_pinned() {
+        // The exact draw sequence for a fixed seed is part of the artifact
+        // determinism contract; changing the generator must fail loudly
+        // here, not show up as silently different experiment output.
+        let mut r = SimRng::seed_from_u64(0);
+        let first: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        let again: Vec<u64> = {
+            let mut r = SimRng::seed_from_u64(0);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(first, again);
+        // Reference values computed from SplitMix64(0) seeding feeding
+        // xoshiro256++ as implemented above.
+        let mut sm = 0u64;
+        let s: [u64; 4] = [
+            splitmix64_next(&mut sm),
+            splitmix64_next(&mut sm),
+            splitmix64_next(&mut sm),
+            splitmix64_next(&mut sm),
+        ];
+        let expect0 = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        assert_eq!(first[0], expect0);
     }
 
     #[test]
@@ -149,6 +261,17 @@ mod tests {
     }
 
     #[test]
+    fn fork_advances_parent_by_one_draw() {
+        let mut a = SimRng::seed_from_u64(5);
+        let mut b = SimRng::seed_from_u64(5);
+        let _ = a.fork(9);
+        let _ = b.next_u64();
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
     fn chance_extremes() {
         let mut r = SimRng::seed_from_u64(0);
         assert!(!r.chance(0.0));
@@ -164,6 +287,15 @@ mod tests {
         let hits = (0..n).filter(|_| r.chance(0.2)).count();
         let freq = hits as f64 / n as f64;
         assert!((freq - 0.2).abs() < 0.02, "freq {freq}");
+    }
+
+    #[test]
+    fn unit_is_in_half_open_interval() {
+        let mut r = SimRng::seed_from_u64(21);
+        for _ in 0..10_000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u), "unit {u}");
+        }
     }
 
     #[test]
@@ -189,6 +321,20 @@ mod tests {
         let n = 50_000;
         let mean = (0..n).map(|_| r.exponential(5.0)).sum::<f64>() / n as f64;
         assert!((mean - 5.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn range_u64_is_unbiased_at_small_spans() {
+        let mut r = SimRng::seed_from_u64(42);
+        let n = 30_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[r.range_u64(0, 2) as usize] += 1;
+        }
+        for c in counts {
+            let freq = c as f64 / n as f64;
+            assert!((freq - 1.0 / 3.0).abs() < 0.02, "freq {freq}");
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::config::{DataTransport, PlatformConfig};
 use crate::game::GameClient;
 use crate::server::{stream_frame, DATA_SERVER_PORT};
 use crate::stream::{StreamChannel, StreamEvent};
-use bytes::Bytes;
+use svr_netsim::buf::Bytes;
 use std::collections::VecDeque;
 use svr_avatar::codec::{decode_update, encode_update, make_update};
 use svr_avatar::motion::MotionState;

@@ -12,7 +12,6 @@
 //! times the tick rate lands on the paper's measured per-avatar rates;
 //! the rates themselves are never hard-coded anywhere downstream.
 
-use serde::{Deserialize, Serialize};
 use svr_avatar::Embodiment;
 use svr_client::{DeviceProfile, PerfProfile, Resolution};
 use svr_geo::{Owner, ServerPool, Site};
@@ -21,7 +20,7 @@ use svr_netsim::{Bitrate, SimDuration};
 use crate::server::ForwardPolicy;
 
 /// The five platforms.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PlatformId {
     /// AltspaceVR (Microsoft, 2015).
     AltspaceVr,
@@ -64,7 +63,7 @@ impl std::fmt::Display for PlatformId {
 }
 
 /// How the data channel is carried.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DataTransport {
     /// Raw UDP datagrams (AltspaceVR, Rec Room, VRChat, Worlds).
     Udp,
@@ -74,7 +73,7 @@ pub enum DataTransport {
 }
 
 /// Channel classification used throughout the analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ChannelKind {
     /// Menu operations, reports, clock sync — HTTPS.
     Control,
@@ -83,7 +82,7 @@ pub enum ChannelKind {
 }
 
 /// Extra traffic a game adds on the data channel.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GameTraffic {
     /// Game-state update rate.
     pub tick_hz: f64,

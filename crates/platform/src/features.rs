@@ -1,11 +1,10 @@
 //! Table 1: the feature matrix of the five platforms.
 
-use serde::{Deserialize, Serialize};
 
 use crate::config::PlatformId;
 
 /// Locomotion modes a platform offers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Locomotion {
     /// Continuous walking.
     Walk,
@@ -18,7 +17,7 @@ pub enum Locomotion {
 }
 
 /// One platform's row of Table 1.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FeatureMatrix {
     /// Which platform.
     pub platform: PlatformId,

@@ -10,7 +10,7 @@
 
 use crate::config::{DataTransport, PlatformConfig};
 use crate::stream::{StreamChannel, StreamEvent};
-use bytes::Bytes;
+use svr_netsim::buf::Bytes;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 use svr_avatar::motion::in_viewport;

@@ -8,7 +8,7 @@
 //! is one reason Hubs' avatar traffic is heavier than its embodiment
 //! alone would suggest (§5.2).
 
-use bytes::{BufMut, Bytes, BytesMut};
+use svr_netsim::buf::{Bytes, BytesMut};
 use svr_netsim::{Packet, SimTime};
 use svr_transport::tcp::{TcpConfig, TcpConnection, TcpEvent};
 use svr_transport::tls::{

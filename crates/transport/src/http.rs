@@ -12,7 +12,7 @@ use crate::tls::{
     seal_stream, HandshakeProfile, PlainRecord, RecordUnsealer, TlsSession, CONTENT_APPDATA,
     CONTENT_HANDSHAKE,
 };
-use bytes::{Bytes, BytesMut};
+use svr_netsim::buf::{Bytes, BytesMut};
 use std::collections::VecDeque;
 use svr_netsim::{Packet, SimTime};
 

@@ -6,7 +6,7 @@
 //! the mean/standard-deviation statistics reported in Table 2;
 //! [`PingResponder`] plays the server side.
 
-use bytes::{BufMut, Bytes, BytesMut};
+use svr_netsim::buf::{Bytes, BytesMut};
 use svr_netsim::{Packet, Proto, SimDuration, SimTime, TcpFlags, TransportHeader};
 
 /// Which probe flavour to use.

@@ -8,7 +8,7 @@
 //! report carries a timestamp, the receiver echoes it with its holding
 //! delay, and the sender recovers `RTT = now - LSR - DLSR`.
 
-use bytes::{BufMut, Bytes, BytesMut};
+use svr_netsim::buf::{Bytes, BytesMut};
 use svr_netsim::{Packet, Proto, SimDuration, SimTime, TransportHeader};
 
 /// RTP fixed header length.

@@ -8,7 +8,7 @@
 //! observation that Worlds' UDP session dies ~30 s after its traffic is
 //! blocked and never recovers (§8.1).
 
-use bytes::{BufMut, Bytes, BytesMut};
+use svr_netsim::buf::{Bytes, BytesMut};
 use svr_netsim::{Packet, Proto, SimDuration, SimTime, TransportHeader};
 
 /// Application-level header prepended to every channel datagram.

@@ -1,104 +1,146 @@
-//! Regenerate every table and figure of the paper in one run.
+//! Regenerate the paper's tables and figures through the parallel
+//! experiment harness (`svr-harness`).
 //!
 //! ```sh
-//! cargo run --release --example reproduce_all          # quick fidelity
-//! REPRO_FULL=1 cargo run --release --example reproduce_all  # paper fidelity
+//! cargo run --release --example reproduce_all                  # quick fidelity, all experiments
+//! cargo run --release --example reproduce_all -- --full        # paper-scale sweeps
+//! cargo run --release --example reproduce_all -- --list        # what can run
+//! cargo run --release --example reproduce_all -- \
+//!     --only fig7,table3 --jobs 8 --out artifacts/             # JSON artifacts + telemetry
 //! ```
 //!
-//! The output of the full run is the source of `EXPERIMENTS.md`.
+//! Artifacts are byte-identical for any `--jobs` value; schedule-
+//! dependent numbers (wall time, trials/sec, worker utilisation) go to
+//! `BENCH_harness.json` only. The full run's console output is the
+//! source of `EXPERIMENTS.md`.
 
-use metaverse_measurement::core::experiments::*;
-use metaverse_measurement::PlatformId;
+use std::path::PathBuf;
+use std::process::ExitCode;
 
-fn main() {
-    let full = std::env::var("REPRO_FULL").map(|v| v == "1").unwrap_or(false);
+use svr_harness::{registry, Fidelity, RunCtx, RunOptions};
+
+struct Args {
+    fidelity: Fidelity,
+    seed: u64,
+    jobs: usize,
+    only: Option<Vec<String>>,
+    out: Option<PathBuf>,
+    list: bool,
+}
+
+const USAGE: &str = "\
+usage: reproduce_all [--full] [--seed N] [--jobs N] [--only a,b,c] [--out DIR] [--list]
+
+  --full        paper-scale sweeps (default: quick smoke fidelity)
+  --seed N      remix every experiment's base seed (default 0 = published seeds)
+  --jobs N      worker threads (default: available parallelism)
+  --only a,b,c  run only the named experiments (see --list)
+  --out DIR     write one <experiment>.json per experiment + BENCH_harness.json
+  --list        print the registry and exit";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        fidelity: Fidelity::Quick,
+        seed: 0,
+        jobs: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        only: None,
+        out: None,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--full" => args.fidelity = Fidelity::Full,
+            "--quick" => args.fidelity = Fidelity::Quick,
+            "--list" => args.list = true,
+            "--seed" => {
+                let v = value("--seed")?;
+                args.seed = v.parse().map_err(|_| format!("bad --seed value `{v}`"))?;
+            }
+            "--jobs" => {
+                let v = value("--jobs")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --jobs value `{v}`"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                args.jobs = n;
+            }
+            "--only" => {
+                let v = value("--only")?;
+                let names: Vec<String> =
+                    v.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from).collect();
+                if names.is_empty() {
+                    return Err("--only needs at least one experiment name".to_string());
+                }
+                args.only = Some(names);
+            }
+            "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.list {
+        println!("Registered experiments (paper order):");
+        for exp in registry::all() {
+            println!("  {:<11} {}", exp.name, exp.artefact);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let opts = RunOptions {
+        ctx: RunCtx { fidelity: args.fidelity, seed: args.seed },
+        jobs: args.jobs,
+        only: args.only.clone(),
+    };
     println!(
-        "Reproducing all tables & figures at {} fidelity\n",
-        if full { "FULL (paper)" } else { "QUICK" }
+        "Reproducing {} at {} fidelity, {} worker(s), seed {}\n",
+        args.only.as_ref().map(|o| o.join(", ")).unwrap_or_else(|| "all tables & figures".into()),
+        if args.fidelity == Fidelity::Full { "FULL (paper)" } else { "QUICK" },
+        args.jobs,
+        args.seed,
     );
 
-    println!("{}", table1::run());
-
-    let t2 = if full { table2::Table2Config::full() } else { table2::Table2Config::quick() };
-    println!("{}", table2::run(t2));
-
-    println!("{}", vantage::run());
-
-    let f2 = if full { fig2::Fig2Config::full() } else { fig2::Fig2Config::quick() };
-    for rep in fig2::run_all(f2) {
-        println!("{rep}");
-    }
-
-    let t3 = if full { table3::Table3Config::full() } else { table3::Table3Config::quick() };
-    println!("{}", table3::run(t3));
-
-    let f3 = if full { fig3::Fig3Config::full() } else { fig3::Fig3Config::quick() };
-    for p in [PlatformId::RecRoom, PlatformId::Worlds] {
-        println!("{}", fig3::run(p, f3));
-    }
-
-    let f6 = if full { fig6::Fig6Config::full() } else { fig6::Fig6Config::quick() };
-    for p in PlatformId::ALL {
-        let rep = fig6::run(p, fig6::Variant::VisibleThenAway, f6);
-        println!("{rep}");
-        println!(
-            "  downlink before turn {:.1} Kbps → after turn {:.1} Kbps\n",
-            rep.down_before_turn(),
-            rep.down_after_turn()
-        );
-    }
-    let rep = fig6::run(PlatformId::AltspaceVr, fig6::Variant::AwayThenVisible, f6);
-    println!("{rep}");
-
-    let vp = if full { viewport::ViewportConfig::full() } else { viewport::ViewportConfig::quick() };
-    println!("{}", viewport::run(PlatformId::AltspaceVr, vp));
-
-    let f7 = if full { fig7::ScalingConfig::full() } else { fig7::ScalingConfig::quick() };
-    for rep in fig7::run_all(&f7) {
-        println!("{rep}");
-    }
-    println!("{}", fig8::run(&f7));
-
-    let f9 = if full { fig9::Fig9Config::full() } else { fig9::Fig9Config::quick() };
-    println!("{}", fig9::run(&f9));
-
-    let t4 = if full { table4::Table4Config::full() } else { table4::Table4Config::quick() };
-    println!("{}", table4::run(t4));
-
-    let f11 = if full { fig11::Fig11Config::full() } else { fig11::Fig11Config::quick() };
-    println!("{}", fig11::run_all(&f11));
-
-    let f12 = if full { fig12::Fig12Config::full() } else { fig12::Fig12Config::quick() };
-    println!("{}", fig12::run(&f12));
-
-    let caps = if full {
-        fig13::UplinkCapsConfig::full()
-    } else {
-        fig13::UplinkCapsConfig::quick()
+    let output = match svr_harness::run_selected(&opts) {
+        Ok(output) => output,
+        Err(unknown) => {
+            eprintln!("error: {unknown}");
+            return ExitCode::FAILURE;
+        }
     };
-    println!("{}", fig13::run_uplink_caps(&caps));
-    let tcp = if full {
-        fig13::TcpPriorityConfig::full()
-    } else {
-        fig13::TcpPriorityConfig::quick()
-    };
-    println!("{}", fig13::run_tcp_priority(&tcp));
 
-    let d = if full { disruption::DisruptionConfig::full() } else { disruption::DisruptionConfig::quick() };
-    for p in [PlatformId::Worlds, PlatformId::RecRoom, PlatformId::VrChat] {
-        println!("{}", disruption::run(p, &d));
+    for artifact in &output.artifacts {
+        println!("{}", artifact.display);
     }
 
-    let ab = if full { ablations::AblationConfig::full() } else { ablations::AblationConfig::quick() };
-    println!("{}", ablations::remote_rendering(&ab));
-    println!("{}", ablations::p2p_scaling(&ab));
-    let di = ablations::device_independence(0xD11CE);
-    println!(
-        "§5.1 device independence: Quest 2 uplink {:.1} Kbps == PC uplink {:.1} Kbps;\nQuest FPS {:.1} (of 72) vs PC FPS {:.1} (of 60)\n",
-        di.quest_up_kbps, di.pc_up_kbps, di.quest_fps, di.pc_fps
-    );
-    println!("Implication-2 embodiment cost curve (per-avatar Kbps at 30 Hz):");
-    for (name, kbps) in ablations::embodiment_cost_curve() {
-        println!("  {name:<24} {kbps:>9.1}");
+    if let Some(out_dir) = &args.out {
+        match svr_harness::write_artifacts(out_dir, &output) {
+            Ok(paths) => {
+                println!("Wrote {} artifact file(s) to {}:", paths.len(), out_dir.display());
+                for path in paths {
+                    println!("  {}", path.display());
+                }
+            }
+            Err(error) => {
+                eprintln!("error: writing artifacts to {}: {error}", out_dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
     }
+    ExitCode::SUCCESS
 }

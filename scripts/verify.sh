@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Pre-merge gate (see ROADMAP.md). Everything runs offline: the
+# workspace has zero external dependencies and must keep building with
+# an empty cargo registry and no network.
+#
+#   scripts/verify.sh          # full gate: build + tests + clippy + determinism
+#   scripts/verify.sh --fast   # skip the determinism run (tier-1 + clippy only)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> lint: cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "${1:-}" == "--fast" ]]; then
+    echo "==> skipping determinism check (--fast)"
+    echo "verify.sh: OK"
+    exit 0
+fi
+
+echo "==> determinism: reproduce_all --jobs 1 vs --jobs 8"
+cargo build --release --example reproduce_all
+out_dir="$(mktemp -d)"
+trap 'rm -rf "$out_dir"' EXIT
+# A cheap selection that still exercises multi-unit merging (fig3 has
+# two per-platform units); the heavyweight sweeps would cost minutes
+# each and share the exact same merge path.
+selection="table1,table2,vantage,fig3"
+./target/release/examples/reproduce_all --only "$selection" --jobs 1 --out "$out_dir/j1" > /dev/null
+./target/release/examples/reproduce_all --only "$selection" --jobs 8 --out "$out_dir/j8" > /dev/null
+for artifact in "$out_dir"/j1/*.json; do
+    name="$(basename "$artifact")"
+    # BENCH_harness.json carries wall times and is expected to differ.
+    [[ "$name" == "BENCH_harness.json" ]] && continue
+    if ! cmp -s "$artifact" "$out_dir/j8/$name"; then
+        echo "verify.sh: DETERMINISM FAILURE: $name differs between --jobs 1 and --jobs 8" >&2
+        exit 1
+    fi
+done
+echo "    artifacts byte-identical across worker counts"
+
+echo "verify.sh: OK"

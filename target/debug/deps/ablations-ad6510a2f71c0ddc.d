@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-ad6510a2f71c0ddc.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/ablations-ad6510a2f71c0ddc: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/determinism-19aaeb796a9337bf.d: crates/harness/tests/determinism.rs crates/harness/tests/../../core/src/experiments/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-19aaeb796a9337bf.rmeta: crates/harness/tests/determinism.rs crates/harness/tests/../../core/src/experiments/mod.rs Cargo.toml
+
+crates/harness/tests/determinism.rs:
+crates/harness/tests/../../core/src/experiments/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

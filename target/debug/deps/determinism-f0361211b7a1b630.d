@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/determinism-f0361211b7a1b630.d: crates/harness/tests/determinism.rs crates/harness/tests/../../core/src/experiments/mod.rs
+
+/root/repo/target/debug/deps/determinism-f0361211b7a1b630: crates/harness/tests/determinism.rs crates/harness/tests/../../core/src/experiments/mod.rs
+
+crates/harness/tests/determinism.rs:
+crates/harness/tests/../../core/src/experiments/mod.rs:

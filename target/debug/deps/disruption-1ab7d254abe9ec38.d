@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/disruption-1ab7d254abe9ec38.d: crates/bench/benches/disruption.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdisruption-1ab7d254abe9ec38.rmeta: crates/bench/benches/disruption.rs Cargo.toml
+
+crates/bench/benches/disruption.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

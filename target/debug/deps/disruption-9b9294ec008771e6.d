@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/disruption-9b9294ec008771e6.d: crates/bench/benches/disruption.rs
+
+/root/repo/target/debug/deps/disruption-9b9294ec008771e6: crates/bench/benches/disruption.rs
+
+crates/bench/benches/disruption.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-9dfb4456dc44abbd.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-9dfb4456dc44abbd: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-b82d9ab79a81201c.d: crates/bench/benches/engine.rs
+
+/root/repo/target/debug/deps/engine-b82d9ab79a81201c: crates/bench/benches/engine.rs
+
+crates/bench/benches/engine.rs:

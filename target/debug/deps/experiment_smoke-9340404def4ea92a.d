@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiment_smoke-9340404def4ea92a.d: tests/experiment_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiment_smoke-9340404def4ea92a.rmeta: tests/experiment_smoke.rs Cargo.toml
+
+tests/experiment_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiment_smoke-e0a52c857b91c750.d: tests/experiment_smoke.rs
+
+/root/repo/target/debug/deps/experiment_smoke-e0a52c857b91c750: tests/experiment_smoke.rs
+
+tests/experiment_smoke.rs:

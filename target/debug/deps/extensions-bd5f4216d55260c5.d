@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-bd5f4216d55260c5.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-bd5f4216d55260c5: tests/extensions.rs
+
+tests/extensions.rs:

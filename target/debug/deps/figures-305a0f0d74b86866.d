@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-305a0f0d74b86866.d: crates/bench/benches/figures.rs
+
+/root/repo/target/debug/deps/figures-305a0f0d74b86866: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/metaverse_measurement-0ae280ccd5e76905.d: src/lib.rs
+
+/root/repo/target/debug/deps/metaverse_measurement-0ae280ccd5e76905: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/metaverse_measurement-2306b9334422880e.d: src/lib.rs
+
+/root/repo/target/debug/deps/metaverse_measurement-2306b9334422880e: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/metaverse_measurement-5a21152c8dc01f6f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmetaverse_measurement-5a21152c8dc01f6f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

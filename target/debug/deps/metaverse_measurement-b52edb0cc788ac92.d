@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/metaverse_measurement-b52edb0cc788ac92.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmetaverse_measurement-b52edb0cc788ac92.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/metaverse_measurement-cad6428422263eda.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmetaverse_measurement-cad6428422263eda.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmetaverse_measurement-cad6428422263eda.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_findings-79230fe83b47d5c0.d: tests/paper_findings.rs
+
+/root/repo/target/debug/deps/paper_findings-79230fe83b47d5c0: tests/paper_findings.rs
+
+tests/paper_findings.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_findings-db8a7f6fee6d4488.d: tests/paper_findings.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_findings-db8a7f6fee6d4488.rmeta: tests/paper_findings.rs Cargo.toml
+
+tests/paper_findings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/svr_avatar-156ea22c36c7e6ca.d: crates/avatar/src/lib.rs crates/avatar/src/codec.rs crates/avatar/src/embodiment.rs crates/avatar/src/gesture.rs crates/avatar/src/ik.rs crates/avatar/src/motion.rs crates/avatar/src/prediction.rs crates/avatar/src/quant.rs crates/avatar/src/skeleton.rs
+
+/root/repo/target/debug/deps/libsvr_avatar-156ea22c36c7e6ca.rlib: crates/avatar/src/lib.rs crates/avatar/src/codec.rs crates/avatar/src/embodiment.rs crates/avatar/src/gesture.rs crates/avatar/src/ik.rs crates/avatar/src/motion.rs crates/avatar/src/prediction.rs crates/avatar/src/quant.rs crates/avatar/src/skeleton.rs
+
+/root/repo/target/debug/deps/libsvr_avatar-156ea22c36c7e6ca.rmeta: crates/avatar/src/lib.rs crates/avatar/src/codec.rs crates/avatar/src/embodiment.rs crates/avatar/src/gesture.rs crates/avatar/src/ik.rs crates/avatar/src/motion.rs crates/avatar/src/prediction.rs crates/avatar/src/quant.rs crates/avatar/src/skeleton.rs
+
+crates/avatar/src/lib.rs:
+crates/avatar/src/codec.rs:
+crates/avatar/src/embodiment.rs:
+crates/avatar/src/gesture.rs:
+crates/avatar/src/ik.rs:
+crates/avatar/src/motion.rs:
+crates/avatar/src/prediction.rs:
+crates/avatar/src/quant.rs:
+crates/avatar/src/skeleton.rs:

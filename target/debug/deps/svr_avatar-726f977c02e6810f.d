@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/svr_avatar-726f977c02e6810f.d: crates/avatar/src/lib.rs crates/avatar/src/codec.rs crates/avatar/src/embodiment.rs crates/avatar/src/gesture.rs crates/avatar/src/ik.rs crates/avatar/src/motion.rs crates/avatar/src/prediction.rs crates/avatar/src/quant.rs crates/avatar/src/skeleton.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsvr_avatar-726f977c02e6810f.rmeta: crates/avatar/src/lib.rs crates/avatar/src/codec.rs crates/avatar/src/embodiment.rs crates/avatar/src/gesture.rs crates/avatar/src/ik.rs crates/avatar/src/motion.rs crates/avatar/src/prediction.rs crates/avatar/src/quant.rs crates/avatar/src/skeleton.rs Cargo.toml
+
+crates/avatar/src/lib.rs:
+crates/avatar/src/codec.rs:
+crates/avatar/src/embodiment.rs:
+crates/avatar/src/gesture.rs:
+crates/avatar/src/ik.rs:
+crates/avatar/src/motion.rs:
+crates/avatar/src/prediction.rs:
+crates/avatar/src/quant.rs:
+crates/avatar/src/skeleton.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/svr_avatar-b7b87084f07922dc.d: crates/avatar/src/lib.rs crates/avatar/src/codec.rs crates/avatar/src/embodiment.rs crates/avatar/src/gesture.rs crates/avatar/src/ik.rs crates/avatar/src/motion.rs crates/avatar/src/prediction.rs crates/avatar/src/quant.rs crates/avatar/src/skeleton.rs
+
+/root/repo/target/debug/deps/libsvr_avatar-b7b87084f07922dc.rlib: crates/avatar/src/lib.rs crates/avatar/src/codec.rs crates/avatar/src/embodiment.rs crates/avatar/src/gesture.rs crates/avatar/src/ik.rs crates/avatar/src/motion.rs crates/avatar/src/prediction.rs crates/avatar/src/quant.rs crates/avatar/src/skeleton.rs
+
+/root/repo/target/debug/deps/libsvr_avatar-b7b87084f07922dc.rmeta: crates/avatar/src/lib.rs crates/avatar/src/codec.rs crates/avatar/src/embodiment.rs crates/avatar/src/gesture.rs crates/avatar/src/ik.rs crates/avatar/src/motion.rs crates/avatar/src/prediction.rs crates/avatar/src/quant.rs crates/avatar/src/skeleton.rs
+
+crates/avatar/src/lib.rs:
+crates/avatar/src/codec.rs:
+crates/avatar/src/embodiment.rs:
+crates/avatar/src/gesture.rs:
+crates/avatar/src/ik.rs:
+crates/avatar/src/motion.rs:
+crates/avatar/src/prediction.rs:
+crates/avatar/src/quant.rs:
+crates/avatar/src/skeleton.rs:

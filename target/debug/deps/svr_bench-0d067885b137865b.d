@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/svr_bench-0d067885b137865b.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsvr_bench-0d067885b137865b.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/svr_bench-40f203425a62b581.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/svr_bench-40f203425a62b581: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/svr_bench-455dbb0b460954f8.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/svr_bench-455dbb0b460954f8: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

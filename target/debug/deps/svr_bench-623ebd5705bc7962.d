@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/svr_bench-623ebd5705bc7962.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsvr_bench-623ebd5705bc7962.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsvr_bench-623ebd5705bc7962.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

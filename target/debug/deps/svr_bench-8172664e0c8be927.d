@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/svr_bench-8172664e0c8be927.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsvr_bench-8172664e0c8be927.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsvr_bench-8172664e0c8be927.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/svr_bench-8e07ee3e93b79bc7.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsvr_bench-8e07ee3e93b79bc7.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/svr_client-9017bfd2802da328.d: crates/client/src/lib.rs crates/client/src/battery.rs crates/client/src/device.rs crates/client/src/monitor.rs crates/client/src/render.rs crates/client/src/resources.rs
+
+/root/repo/target/debug/deps/svr_client-9017bfd2802da328: crates/client/src/lib.rs crates/client/src/battery.rs crates/client/src/device.rs crates/client/src/monitor.rs crates/client/src/render.rs crates/client/src/resources.rs
+
+crates/client/src/lib.rs:
+crates/client/src/battery.rs:
+crates/client/src/device.rs:
+crates/client/src/monitor.rs:
+crates/client/src/render.rs:
+crates/client/src/resources.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/svr_client-a21970ae1327ae17.d: crates/client/src/lib.rs crates/client/src/battery.rs crates/client/src/device.rs crates/client/src/monitor.rs crates/client/src/render.rs crates/client/src/resources.rs
+
+/root/repo/target/debug/deps/libsvr_client-a21970ae1327ae17.rlib: crates/client/src/lib.rs crates/client/src/battery.rs crates/client/src/device.rs crates/client/src/monitor.rs crates/client/src/render.rs crates/client/src/resources.rs
+
+/root/repo/target/debug/deps/libsvr_client-a21970ae1327ae17.rmeta: crates/client/src/lib.rs crates/client/src/battery.rs crates/client/src/device.rs crates/client/src/monitor.rs crates/client/src/render.rs crates/client/src/resources.rs
+
+crates/client/src/lib.rs:
+crates/client/src/battery.rs:
+crates/client/src/device.rs:
+crates/client/src/monitor.rs:
+crates/client/src/render.rs:
+crates/client/src/resources.rs:

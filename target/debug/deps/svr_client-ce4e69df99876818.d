@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/svr_client-ce4e69df99876818.d: crates/client/src/lib.rs crates/client/src/battery.rs crates/client/src/device.rs crates/client/src/monitor.rs crates/client/src/render.rs crates/client/src/resources.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsvr_client-ce4e69df99876818.rmeta: crates/client/src/lib.rs crates/client/src/battery.rs crates/client/src/device.rs crates/client/src/monitor.rs crates/client/src/render.rs crates/client/src/resources.rs Cargo.toml
+
+crates/client/src/lib.rs:
+crates/client/src/battery.rs:
+crates/client/src/device.rs:
+crates/client/src/monitor.rs:
+crates/client/src/render.rs:
+crates/client/src/resources.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,33 @@
+/root/repo/target/debug/deps/svr_core-c9a52247a5e7b209.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/clocksync.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablations.rs crates/core/src/experiments/disruption.rs crates/core/src/experiments/fig11.rs crates/core/src/experiments/fig12.rs crates/core/src/experiments/fig13.rs crates/core/src/experiments/fig2.rs crates/core/src/experiments/fig3.rs crates/core/src/experiments/fig6.rs crates/core/src/experiments/fig7.rs crates/core/src/experiments/fig8.rs crates/core/src/experiments/fig9.rs crates/core/src/experiments/table1.rs crates/core/src/experiments/table2.rs crates/core/src/experiments/table3.rs crates/core/src/experiments/table4.rs crates/core/src/experiments/takeaways.rs crates/core/src/experiments/vantage.rs crates/core/src/experiments/viewport.rs crates/core/src/latency.rs crates/core/src/report.rs crates/core/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsvr_core-c9a52247a5e7b209.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/clocksync.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablations.rs crates/core/src/experiments/disruption.rs crates/core/src/experiments/fig11.rs crates/core/src/experiments/fig12.rs crates/core/src/experiments/fig13.rs crates/core/src/experiments/fig2.rs crates/core/src/experiments/fig3.rs crates/core/src/experiments/fig6.rs crates/core/src/experiments/fig7.rs crates/core/src/experiments/fig8.rs crates/core/src/experiments/fig9.rs crates/core/src/experiments/table1.rs crates/core/src/experiments/table2.rs crates/core/src/experiments/table3.rs crates/core/src/experiments/table4.rs crates/core/src/experiments/takeaways.rs crates/core/src/experiments/vantage.rs crates/core/src/experiments/viewport.rs crates/core/src/latency.rs crates/core/src/report.rs crates/core/src/stats.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/clocksync.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/ablations.rs:
+crates/core/src/experiments/disruption.rs:
+crates/core/src/experiments/fig11.rs:
+crates/core/src/experiments/fig12.rs:
+crates/core/src/experiments/fig13.rs:
+crates/core/src/experiments/fig2.rs:
+crates/core/src/experiments/fig3.rs:
+crates/core/src/experiments/fig6.rs:
+crates/core/src/experiments/fig7.rs:
+crates/core/src/experiments/fig8.rs:
+crates/core/src/experiments/fig9.rs:
+crates/core/src/experiments/table1.rs:
+crates/core/src/experiments/table2.rs:
+crates/core/src/experiments/table3.rs:
+crates/core/src/experiments/table4.rs:
+crates/core/src/experiments/takeaways.rs:
+crates/core/src/experiments/vantage.rs:
+crates/core/src/experiments/viewport.rs:
+crates/core/src/latency.rs:
+crates/core/src/report.rs:
+crates/core/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

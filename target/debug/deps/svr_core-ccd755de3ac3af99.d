@@ -1,0 +1,31 @@
+/root/repo/target/debug/deps/svr_core-ccd755de3ac3af99.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/clocksync.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablations.rs crates/core/src/experiments/disruption.rs crates/core/src/experiments/fig11.rs crates/core/src/experiments/fig12.rs crates/core/src/experiments/fig13.rs crates/core/src/experiments/fig2.rs crates/core/src/experiments/fig3.rs crates/core/src/experiments/fig6.rs crates/core/src/experiments/fig7.rs crates/core/src/experiments/fig8.rs crates/core/src/experiments/fig9.rs crates/core/src/experiments/table1.rs crates/core/src/experiments/table2.rs crates/core/src/experiments/table3.rs crates/core/src/experiments/table4.rs crates/core/src/experiments/takeaways.rs crates/core/src/experiments/vantage.rs crates/core/src/experiments/viewport.rs crates/core/src/latency.rs crates/core/src/report.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/libsvr_core-ccd755de3ac3af99.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/clocksync.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablations.rs crates/core/src/experiments/disruption.rs crates/core/src/experiments/fig11.rs crates/core/src/experiments/fig12.rs crates/core/src/experiments/fig13.rs crates/core/src/experiments/fig2.rs crates/core/src/experiments/fig3.rs crates/core/src/experiments/fig6.rs crates/core/src/experiments/fig7.rs crates/core/src/experiments/fig8.rs crates/core/src/experiments/fig9.rs crates/core/src/experiments/table1.rs crates/core/src/experiments/table2.rs crates/core/src/experiments/table3.rs crates/core/src/experiments/table4.rs crates/core/src/experiments/takeaways.rs crates/core/src/experiments/vantage.rs crates/core/src/experiments/viewport.rs crates/core/src/latency.rs crates/core/src/report.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/libsvr_core-ccd755de3ac3af99.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/clocksync.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablations.rs crates/core/src/experiments/disruption.rs crates/core/src/experiments/fig11.rs crates/core/src/experiments/fig12.rs crates/core/src/experiments/fig13.rs crates/core/src/experiments/fig2.rs crates/core/src/experiments/fig3.rs crates/core/src/experiments/fig6.rs crates/core/src/experiments/fig7.rs crates/core/src/experiments/fig8.rs crates/core/src/experiments/fig9.rs crates/core/src/experiments/table1.rs crates/core/src/experiments/table2.rs crates/core/src/experiments/table3.rs crates/core/src/experiments/table4.rs crates/core/src/experiments/takeaways.rs crates/core/src/experiments/vantage.rs crates/core/src/experiments/viewport.rs crates/core/src/latency.rs crates/core/src/report.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/clocksync.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/ablations.rs:
+crates/core/src/experiments/disruption.rs:
+crates/core/src/experiments/fig11.rs:
+crates/core/src/experiments/fig12.rs:
+crates/core/src/experiments/fig13.rs:
+crates/core/src/experiments/fig2.rs:
+crates/core/src/experiments/fig3.rs:
+crates/core/src/experiments/fig6.rs:
+crates/core/src/experiments/fig7.rs:
+crates/core/src/experiments/fig8.rs:
+crates/core/src/experiments/fig9.rs:
+crates/core/src/experiments/table1.rs:
+crates/core/src/experiments/table2.rs:
+crates/core/src/experiments/table3.rs:
+crates/core/src/experiments/table4.rs:
+crates/core/src/experiments/takeaways.rs:
+crates/core/src/experiments/vantage.rs:
+crates/core/src/experiments/viewport.rs:
+crates/core/src/latency.rs:
+crates/core/src/report.rs:
+crates/core/src/stats.rs:

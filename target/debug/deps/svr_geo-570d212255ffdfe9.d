@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/svr_geo-570d212255ffdfe9.d: crates/geo/src/lib.rs crates/geo/src/coords.rs crates/geo/src/detect.rs crates/geo/src/dns.rs crates/geo/src/pools.rs crates/geo/src/sites.rs crates/geo/src/traceroute.rs crates/geo/src/whois.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsvr_geo-570d212255ffdfe9.rmeta: crates/geo/src/lib.rs crates/geo/src/coords.rs crates/geo/src/detect.rs crates/geo/src/dns.rs crates/geo/src/pools.rs crates/geo/src/sites.rs crates/geo/src/traceroute.rs crates/geo/src/whois.rs Cargo.toml
+
+crates/geo/src/lib.rs:
+crates/geo/src/coords.rs:
+crates/geo/src/detect.rs:
+crates/geo/src/dns.rs:
+crates/geo/src/pools.rs:
+crates/geo/src/sites.rs:
+crates/geo/src/traceroute.rs:
+crates/geo/src/whois.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/svr_geo-9966167d82bdbbc7.d: crates/geo/src/lib.rs crates/geo/src/coords.rs crates/geo/src/detect.rs crates/geo/src/dns.rs crates/geo/src/pools.rs crates/geo/src/sites.rs crates/geo/src/traceroute.rs crates/geo/src/whois.rs
+
+/root/repo/target/debug/deps/svr_geo-9966167d82bdbbc7: crates/geo/src/lib.rs crates/geo/src/coords.rs crates/geo/src/detect.rs crates/geo/src/dns.rs crates/geo/src/pools.rs crates/geo/src/sites.rs crates/geo/src/traceroute.rs crates/geo/src/whois.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/coords.rs:
+crates/geo/src/detect.rs:
+crates/geo/src/dns.rs:
+crates/geo/src/pools.rs:
+crates/geo/src/sites.rs:
+crates/geo/src/traceroute.rs:
+crates/geo/src/whois.rs:

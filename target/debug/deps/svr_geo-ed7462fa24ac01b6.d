@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/svr_geo-ed7462fa24ac01b6.d: crates/geo/src/lib.rs crates/geo/src/coords.rs crates/geo/src/detect.rs crates/geo/src/dns.rs crates/geo/src/pools.rs crates/geo/src/sites.rs crates/geo/src/traceroute.rs crates/geo/src/whois.rs
+
+/root/repo/target/debug/deps/libsvr_geo-ed7462fa24ac01b6.rlib: crates/geo/src/lib.rs crates/geo/src/coords.rs crates/geo/src/detect.rs crates/geo/src/dns.rs crates/geo/src/pools.rs crates/geo/src/sites.rs crates/geo/src/traceroute.rs crates/geo/src/whois.rs
+
+/root/repo/target/debug/deps/libsvr_geo-ed7462fa24ac01b6.rmeta: crates/geo/src/lib.rs crates/geo/src/coords.rs crates/geo/src/detect.rs crates/geo/src/dns.rs crates/geo/src/pools.rs crates/geo/src/sites.rs crates/geo/src/traceroute.rs crates/geo/src/whois.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/coords.rs:
+crates/geo/src/detect.rs:
+crates/geo/src/dns.rs:
+crates/geo/src/pools.rs:
+crates/geo/src/sites.rs:
+crates/geo/src/traceroute.rs:
+crates/geo/src/whois.rs:

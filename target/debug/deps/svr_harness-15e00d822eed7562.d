@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/svr_harness-15e00d822eed7562.d: crates/harness/src/lib.rs crates/harness/src/experiment.rs crates/harness/src/json.rs crates/harness/src/registry.rs crates/harness/src/runner.rs crates/harness/src/scheduler.rs crates/harness/src/telemetry.rs crates/harness/src/../../core/src/experiments/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsvr_harness-15e00d822eed7562.rmeta: crates/harness/src/lib.rs crates/harness/src/experiment.rs crates/harness/src/json.rs crates/harness/src/registry.rs crates/harness/src/runner.rs crates/harness/src/scheduler.rs crates/harness/src/telemetry.rs crates/harness/src/../../core/src/experiments/mod.rs Cargo.toml
+
+crates/harness/src/lib.rs:
+crates/harness/src/experiment.rs:
+crates/harness/src/json.rs:
+crates/harness/src/registry.rs:
+crates/harness/src/runner.rs:
+crates/harness/src/scheduler.rs:
+crates/harness/src/telemetry.rs:
+crates/harness/src/../../core/src/experiments/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/svr_harness-a5c6611cc703f74d.d: crates/harness/src/lib.rs crates/harness/src/experiment.rs crates/harness/src/json.rs crates/harness/src/registry.rs crates/harness/src/runner.rs crates/harness/src/scheduler.rs crates/harness/src/telemetry.rs crates/harness/src/../../core/src/experiments/mod.rs
+
+/root/repo/target/debug/deps/svr_harness-a5c6611cc703f74d: crates/harness/src/lib.rs crates/harness/src/experiment.rs crates/harness/src/json.rs crates/harness/src/registry.rs crates/harness/src/runner.rs crates/harness/src/scheduler.rs crates/harness/src/telemetry.rs crates/harness/src/../../core/src/experiments/mod.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/experiment.rs:
+crates/harness/src/json.rs:
+crates/harness/src/registry.rs:
+crates/harness/src/runner.rs:
+crates/harness/src/scheduler.rs:
+crates/harness/src/telemetry.rs:
+crates/harness/src/../../core/src/experiments/mod.rs:

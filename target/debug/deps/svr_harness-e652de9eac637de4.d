@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/svr_harness-e652de9eac637de4.d: crates/harness/src/lib.rs crates/harness/src/experiment.rs crates/harness/src/json.rs crates/harness/src/registry.rs crates/harness/src/runner.rs crates/harness/src/scheduler.rs crates/harness/src/telemetry.rs
+
+/root/repo/target/debug/deps/libsvr_harness-e652de9eac637de4.rlib: crates/harness/src/lib.rs crates/harness/src/experiment.rs crates/harness/src/json.rs crates/harness/src/registry.rs crates/harness/src/runner.rs crates/harness/src/scheduler.rs crates/harness/src/telemetry.rs
+
+/root/repo/target/debug/deps/libsvr_harness-e652de9eac637de4.rmeta: crates/harness/src/lib.rs crates/harness/src/experiment.rs crates/harness/src/json.rs crates/harness/src/registry.rs crates/harness/src/runner.rs crates/harness/src/scheduler.rs crates/harness/src/telemetry.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/experiment.rs:
+crates/harness/src/json.rs:
+crates/harness/src/registry.rs:
+crates/harness/src/runner.rs:
+crates/harness/src/scheduler.rs:
+crates/harness/src/telemetry.rs:

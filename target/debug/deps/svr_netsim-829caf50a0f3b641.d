@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/svr_netsim-829caf50a0f3b641.d: crates/netsim/src/lib.rs crates/netsim/src/buf.rs crates/netsim/src/capture.rs crates/netsim/src/counters.rs crates/netsim/src/flow.rs crates/netsim/src/link.rs crates/netsim/src/netem.rs crates/netsim/src/network.rs crates/netsim/src/node.rs crates/netsim/src/packet.rs crates/netsim/src/pcap.rs crates/netsim/src/queue.rs crates/netsim/src/rng.rs crates/netsim/src/time.rs crates/netsim/src/units.rs crates/netsim/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsvr_netsim-829caf50a0f3b641.rmeta: crates/netsim/src/lib.rs crates/netsim/src/buf.rs crates/netsim/src/capture.rs crates/netsim/src/counters.rs crates/netsim/src/flow.rs crates/netsim/src/link.rs crates/netsim/src/netem.rs crates/netsim/src/network.rs crates/netsim/src/node.rs crates/netsim/src/packet.rs crates/netsim/src/pcap.rs crates/netsim/src/queue.rs crates/netsim/src/rng.rs crates/netsim/src/time.rs crates/netsim/src/units.rs crates/netsim/src/wire.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/buf.rs:
+crates/netsim/src/capture.rs:
+crates/netsim/src/counters.rs:
+crates/netsim/src/flow.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/netem.rs:
+crates/netsim/src/network.rs:
+crates/netsim/src/node.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/pcap.rs:
+crates/netsim/src/queue.rs:
+crates/netsim/src/rng.rs:
+crates/netsim/src/time.rs:
+crates/netsim/src/units.rs:
+crates/netsim/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/svr_platform-010a70a8692b1a76.d: crates/platform/src/lib.rs crates/platform/src/autodriver.rs crates/platform/src/config.rs crates/platform/src/client_app.rs crates/platform/src/features.rs crates/platform/src/game.rs crates/platform/src/server.rs crates/platform/src/session.rs crates/platform/src/stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsvr_platform-010a70a8692b1a76.rmeta: crates/platform/src/lib.rs crates/platform/src/autodriver.rs crates/platform/src/config.rs crates/platform/src/client_app.rs crates/platform/src/features.rs crates/platform/src/game.rs crates/platform/src/server.rs crates/platform/src/session.rs crates/platform/src/stream.rs Cargo.toml
+
+crates/platform/src/lib.rs:
+crates/platform/src/autodriver.rs:
+crates/platform/src/config.rs:
+crates/platform/src/client_app.rs:
+crates/platform/src/features.rs:
+crates/platform/src/game.rs:
+crates/platform/src/server.rs:
+crates/platform/src/session.rs:
+crates/platform/src/stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/svr_platform-296bb4fbd03aec88.d: crates/platform/src/lib.rs crates/platform/src/autodriver.rs crates/platform/src/config.rs crates/platform/src/client_app.rs crates/platform/src/features.rs crates/platform/src/game.rs crates/platform/src/server.rs crates/platform/src/session.rs crates/platform/src/stream.rs
+
+/root/repo/target/debug/deps/libsvr_platform-296bb4fbd03aec88.rlib: crates/platform/src/lib.rs crates/platform/src/autodriver.rs crates/platform/src/config.rs crates/platform/src/client_app.rs crates/platform/src/features.rs crates/platform/src/game.rs crates/platform/src/server.rs crates/platform/src/session.rs crates/platform/src/stream.rs
+
+/root/repo/target/debug/deps/libsvr_platform-296bb4fbd03aec88.rmeta: crates/platform/src/lib.rs crates/platform/src/autodriver.rs crates/platform/src/config.rs crates/platform/src/client_app.rs crates/platform/src/features.rs crates/platform/src/game.rs crates/platform/src/server.rs crates/platform/src/session.rs crates/platform/src/stream.rs
+
+crates/platform/src/lib.rs:
+crates/platform/src/autodriver.rs:
+crates/platform/src/config.rs:
+crates/platform/src/client_app.rs:
+crates/platform/src/features.rs:
+crates/platform/src/game.rs:
+crates/platform/src/server.rs:
+crates/platform/src/session.rs:
+crates/platform/src/stream.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/svr_platform-43d3578b4653d1de.d: crates/platform/src/lib.rs crates/platform/src/autodriver.rs crates/platform/src/config.rs crates/platform/src/client_app.rs crates/platform/src/features.rs crates/platform/src/game.rs crates/platform/src/server.rs crates/platform/src/session.rs crates/platform/src/stream.rs
+
+/root/repo/target/debug/deps/svr_platform-43d3578b4653d1de: crates/platform/src/lib.rs crates/platform/src/autodriver.rs crates/platform/src/config.rs crates/platform/src/client_app.rs crates/platform/src/features.rs crates/platform/src/game.rs crates/platform/src/server.rs crates/platform/src/session.rs crates/platform/src/stream.rs
+
+crates/platform/src/lib.rs:
+crates/platform/src/autodriver.rs:
+crates/platform/src/config.rs:
+crates/platform/src/client_app.rs:
+crates/platform/src/features.rs:
+crates/platform/src/game.rs:
+crates/platform/src/server.rs:
+crates/platform/src/session.rs:
+crates/platform/src/stream.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/svr_platform-83308015a7eb528b.d: crates/platform/src/lib.rs crates/platform/src/autodriver.rs crates/platform/src/config.rs crates/platform/src/client_app.rs crates/platform/src/features.rs crates/platform/src/game.rs crates/platform/src/server.rs crates/platform/src/session.rs crates/platform/src/stream.rs
+
+/root/repo/target/debug/deps/libsvr_platform-83308015a7eb528b.rlib: crates/platform/src/lib.rs crates/platform/src/autodriver.rs crates/platform/src/config.rs crates/platform/src/client_app.rs crates/platform/src/features.rs crates/platform/src/game.rs crates/platform/src/server.rs crates/platform/src/session.rs crates/platform/src/stream.rs
+
+/root/repo/target/debug/deps/libsvr_platform-83308015a7eb528b.rmeta: crates/platform/src/lib.rs crates/platform/src/autodriver.rs crates/platform/src/config.rs crates/platform/src/client_app.rs crates/platform/src/features.rs crates/platform/src/game.rs crates/platform/src/server.rs crates/platform/src/session.rs crates/platform/src/stream.rs
+
+crates/platform/src/lib.rs:
+crates/platform/src/autodriver.rs:
+crates/platform/src/config.rs:
+crates/platform/src/client_app.rs:
+crates/platform/src/features.rs:
+crates/platform/src/game.rs:
+crates/platform/src/server.rs:
+crates/platform/src/session.rs:
+crates/platform/src/stream.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/svr_transport-349c351e67fd071a.d: crates/transport/src/lib.rs crates/transport/src/http.rs crates/transport/src/ping.rs crates/transport/src/rtp.rs crates/transport/src/tcp.rs crates/transport/src/tls.rs crates/transport/src/udp.rs
+
+/root/repo/target/debug/deps/libsvr_transport-349c351e67fd071a.rlib: crates/transport/src/lib.rs crates/transport/src/http.rs crates/transport/src/ping.rs crates/transport/src/rtp.rs crates/transport/src/tcp.rs crates/transport/src/tls.rs crates/transport/src/udp.rs
+
+/root/repo/target/debug/deps/libsvr_transport-349c351e67fd071a.rmeta: crates/transport/src/lib.rs crates/transport/src/http.rs crates/transport/src/ping.rs crates/transport/src/rtp.rs crates/transport/src/tcp.rs crates/transport/src/tls.rs crates/transport/src/udp.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/http.rs:
+crates/transport/src/ping.rs:
+crates/transport/src/rtp.rs:
+crates/transport/src/tcp.rs:
+crates/transport/src/tls.rs:
+crates/transport/src/udp.rs:

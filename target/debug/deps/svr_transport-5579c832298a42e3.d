@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/svr_transport-5579c832298a42e3.d: crates/transport/src/lib.rs crates/transport/src/http.rs crates/transport/src/ping.rs crates/transport/src/rtp.rs crates/transport/src/tcp.rs crates/transport/src/tls.rs crates/transport/src/udp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsvr_transport-5579c832298a42e3.rmeta: crates/transport/src/lib.rs crates/transport/src/http.rs crates/transport/src/ping.rs crates/transport/src/rtp.rs crates/transport/src/tcp.rs crates/transport/src/tls.rs crates/transport/src/udp.rs Cargo.toml
+
+crates/transport/src/lib.rs:
+crates/transport/src/http.rs:
+crates/transport/src/ping.rs:
+crates/transport/src/rtp.rs:
+crates/transport/src/tcp.rs:
+crates/transport/src/tls.rs:
+crates/transport/src/udp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/svr_transport-abb5c9af3a504292.d: crates/transport/src/lib.rs crates/transport/src/http.rs crates/transport/src/ping.rs crates/transport/src/rtp.rs crates/transport/src/tcp.rs crates/transport/src/tls.rs crates/transport/src/udp.rs
+
+/root/repo/target/debug/deps/svr_transport-abb5c9af3a504292: crates/transport/src/lib.rs crates/transport/src/http.rs crates/transport/src/ping.rs crates/transport/src/rtp.rs crates/transport/src/tcp.rs crates/transport/src/tls.rs crates/transport/src/udp.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/http.rs:
+crates/transport/src/ping.rs:
+crates/transport/src/rtp.rs:
+crates/transport/src/tcp.rs:
+crates/transport/src/tls.rs:
+crates/transport/src/udp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-d5155d7429f8b7a2.d: crates/bench/benches/tables.rs
+
+/root/repo/target/debug/deps/tables-d5155d7429f8b7a2: crates/bench/benches/tables.rs
+
+crates/bench/benches/tables.rs:

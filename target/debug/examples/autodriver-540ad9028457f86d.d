@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/autodriver-540ad9028457f86d.d: examples/autodriver.rs Cargo.toml
+
+/root/repo/target/debug/examples/libautodriver-540ad9028457f86d.rmeta: examples/autodriver.rs Cargo.toml
+
+examples/autodriver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/autodriver-5b74d15c2cfb2cde.d: examples/autodriver.rs
+
+/root/repo/target/debug/examples/autodriver-5b74d15c2cfb2cde: examples/autodriver.rs
+
+examples/autodriver.rs:

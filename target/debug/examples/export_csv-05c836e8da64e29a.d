@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/export_csv-05c836e8da64e29a.d: examples/export_csv.rs Cargo.toml
+
+/root/repo/target/debug/examples/libexport_csv-05c836e8da64e29a.rmeta: examples/export_csv.rs Cargo.toml
+
+examples/export_csv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/export_csv-859364c82068e341.d: examples/export_csv.rs
+
+/root/repo/target/debug/examples/export_csv-859364c82068e341: examples/export_csv.rs
+
+examples/export_csv.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/latency_breakdown-479ec0c2417c495c.d: examples/latency_breakdown.rs
+
+/root/repo/target/debug/examples/latency_breakdown-479ec0c2417c495c: examples/latency_breakdown.rs
+
+examples/latency_breakdown.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/latency_breakdown-9d98a098fd46ac99.d: examples/latency_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblatency_breakdown-9d98a098fd46ac99.rmeta: examples/latency_breakdown.rs Cargo.toml
+
+examples/latency_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/network_disruption-4385bd08903158b4.d: examples/network_disruption.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnetwork_disruption-4385bd08903158b4.rmeta: examples/network_disruption.rs Cargo.toml
+
+examples/network_disruption.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/network_disruption-59612d235bb2f23f.d: examples/network_disruption.rs
+
+/root/repo/target/debug/examples/network_disruption-59612d235bb2f23f: examples/network_disruption.rs
+
+examples/network_disruption.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/platform_survey-0b6537325d77782b.d: examples/platform_survey.rs Cargo.toml
+
+/root/repo/target/debug/examples/libplatform_survey-0b6537325d77782b.rmeta: examples/platform_survey.rs Cargo.toml
+
+examples/platform_survey.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/platform_survey-9e8c838fd3eca116.d: examples/platform_survey.rs
+
+/root/repo/target/debug/examples/platform_survey-9e8c838fd3eca116: examples/platform_survey.rs
+
+examples/platform_survey.rs:

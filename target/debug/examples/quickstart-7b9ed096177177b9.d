@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7b9ed096177177b9.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7b9ed096177177b9: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reproduce_all-7d094bb6f37edd6f.d: examples/reproduce_all.rs
+
+/root/repo/target/debug/examples/reproduce_all-7d094bb6f37edd6f: examples/reproduce_all.rs
+
+examples/reproduce_all.rs:

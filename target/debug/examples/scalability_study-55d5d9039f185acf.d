@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scalability_study-55d5d9039f185acf.d: examples/scalability_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscalability_study-55d5d9039f185acf.rmeta: examples/scalability_study.rs Cargo.toml
+
+examples/scalability_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scalability_study-8d070424a223ea57.d: examples/scalability_study.rs
+
+/root/repo/target/debug/examples/scalability_study-8d070424a223ea57: examples/scalability_study.rs
+
+examples/scalability_study.rs:

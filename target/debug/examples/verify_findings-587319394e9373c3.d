@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/verify_findings-587319394e9373c3.d: examples/verify_findings.rs Cargo.toml
+
+/root/repo/target/debug/examples/libverify_findings-587319394e9373c3.rmeta: examples/verify_findings.rs Cargo.toml
+
+examples/verify_findings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

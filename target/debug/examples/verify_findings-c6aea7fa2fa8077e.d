@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/verify_findings-c6aea7fa2fa8077e.d: examples/verify_findings.rs
+
+/root/repo/target/debug/examples/verify_findings-c6aea7fa2fa8077e: examples/verify_findings.rs
+
+examples/verify_findings.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/metaverse_measurement-93b631cc58313538.d: src/lib.rs
+
+/root/repo/target/release/deps/libmetaverse_measurement-93b631cc58313538.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmetaverse_measurement-93b631cc58313538.rmeta: src/lib.rs
+
+src/lib.rs:

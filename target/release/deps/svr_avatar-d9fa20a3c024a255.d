@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/svr_avatar-d9fa20a3c024a255.d: crates/avatar/src/lib.rs crates/avatar/src/codec.rs crates/avatar/src/embodiment.rs crates/avatar/src/gesture.rs crates/avatar/src/ik.rs crates/avatar/src/motion.rs crates/avatar/src/prediction.rs crates/avatar/src/quant.rs crates/avatar/src/skeleton.rs
+
+/root/repo/target/release/deps/libsvr_avatar-d9fa20a3c024a255.rlib: crates/avatar/src/lib.rs crates/avatar/src/codec.rs crates/avatar/src/embodiment.rs crates/avatar/src/gesture.rs crates/avatar/src/ik.rs crates/avatar/src/motion.rs crates/avatar/src/prediction.rs crates/avatar/src/quant.rs crates/avatar/src/skeleton.rs
+
+/root/repo/target/release/deps/libsvr_avatar-d9fa20a3c024a255.rmeta: crates/avatar/src/lib.rs crates/avatar/src/codec.rs crates/avatar/src/embodiment.rs crates/avatar/src/gesture.rs crates/avatar/src/ik.rs crates/avatar/src/motion.rs crates/avatar/src/prediction.rs crates/avatar/src/quant.rs crates/avatar/src/skeleton.rs
+
+crates/avatar/src/lib.rs:
+crates/avatar/src/codec.rs:
+crates/avatar/src/embodiment.rs:
+crates/avatar/src/gesture.rs:
+crates/avatar/src/ik.rs:
+crates/avatar/src/motion.rs:
+crates/avatar/src/prediction.rs:
+crates/avatar/src/quant.rs:
+crates/avatar/src/skeleton.rs:

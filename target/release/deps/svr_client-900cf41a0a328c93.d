@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/svr_client-900cf41a0a328c93.d: crates/client/src/lib.rs crates/client/src/battery.rs crates/client/src/device.rs crates/client/src/monitor.rs crates/client/src/render.rs crates/client/src/resources.rs
+
+/root/repo/target/release/deps/libsvr_client-900cf41a0a328c93.rlib: crates/client/src/lib.rs crates/client/src/battery.rs crates/client/src/device.rs crates/client/src/monitor.rs crates/client/src/render.rs crates/client/src/resources.rs
+
+/root/repo/target/release/deps/libsvr_client-900cf41a0a328c93.rmeta: crates/client/src/lib.rs crates/client/src/battery.rs crates/client/src/device.rs crates/client/src/monitor.rs crates/client/src/render.rs crates/client/src/resources.rs
+
+crates/client/src/lib.rs:
+crates/client/src/battery.rs:
+crates/client/src/device.rs:
+crates/client/src/monitor.rs:
+crates/client/src/render.rs:
+crates/client/src/resources.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/svr_geo-3e7d1facf4d3f164.d: crates/geo/src/lib.rs crates/geo/src/coords.rs crates/geo/src/detect.rs crates/geo/src/dns.rs crates/geo/src/pools.rs crates/geo/src/sites.rs crates/geo/src/traceroute.rs crates/geo/src/whois.rs
+
+/root/repo/target/release/deps/libsvr_geo-3e7d1facf4d3f164.rlib: crates/geo/src/lib.rs crates/geo/src/coords.rs crates/geo/src/detect.rs crates/geo/src/dns.rs crates/geo/src/pools.rs crates/geo/src/sites.rs crates/geo/src/traceroute.rs crates/geo/src/whois.rs
+
+/root/repo/target/release/deps/libsvr_geo-3e7d1facf4d3f164.rmeta: crates/geo/src/lib.rs crates/geo/src/coords.rs crates/geo/src/detect.rs crates/geo/src/dns.rs crates/geo/src/pools.rs crates/geo/src/sites.rs crates/geo/src/traceroute.rs crates/geo/src/whois.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/coords.rs:
+crates/geo/src/detect.rs:
+crates/geo/src/dns.rs:
+crates/geo/src/pools.rs:
+crates/geo/src/sites.rs:
+crates/geo/src/traceroute.rs:
+crates/geo/src/whois.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/svr_harness-7a9ad1f4baf6a735.d: crates/harness/src/lib.rs crates/harness/src/experiment.rs crates/harness/src/json.rs crates/harness/src/registry.rs crates/harness/src/runner.rs crates/harness/src/scheduler.rs crates/harness/src/telemetry.rs
+
+/root/repo/target/release/deps/libsvr_harness-7a9ad1f4baf6a735.rlib: crates/harness/src/lib.rs crates/harness/src/experiment.rs crates/harness/src/json.rs crates/harness/src/registry.rs crates/harness/src/runner.rs crates/harness/src/scheduler.rs crates/harness/src/telemetry.rs
+
+/root/repo/target/release/deps/libsvr_harness-7a9ad1f4baf6a735.rmeta: crates/harness/src/lib.rs crates/harness/src/experiment.rs crates/harness/src/json.rs crates/harness/src/registry.rs crates/harness/src/runner.rs crates/harness/src/scheduler.rs crates/harness/src/telemetry.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/experiment.rs:
+crates/harness/src/json.rs:
+crates/harness/src/registry.rs:
+crates/harness/src/runner.rs:
+crates/harness/src/scheduler.rs:
+crates/harness/src/telemetry.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/svr_netsim-0344597c7be2803f.d: crates/netsim/src/lib.rs crates/netsim/src/buf.rs crates/netsim/src/capture.rs crates/netsim/src/counters.rs crates/netsim/src/flow.rs crates/netsim/src/link.rs crates/netsim/src/netem.rs crates/netsim/src/network.rs crates/netsim/src/node.rs crates/netsim/src/packet.rs crates/netsim/src/pcap.rs crates/netsim/src/queue.rs crates/netsim/src/rng.rs crates/netsim/src/time.rs crates/netsim/src/units.rs crates/netsim/src/wire.rs
+
+/root/repo/target/release/deps/libsvr_netsim-0344597c7be2803f.rlib: crates/netsim/src/lib.rs crates/netsim/src/buf.rs crates/netsim/src/capture.rs crates/netsim/src/counters.rs crates/netsim/src/flow.rs crates/netsim/src/link.rs crates/netsim/src/netem.rs crates/netsim/src/network.rs crates/netsim/src/node.rs crates/netsim/src/packet.rs crates/netsim/src/pcap.rs crates/netsim/src/queue.rs crates/netsim/src/rng.rs crates/netsim/src/time.rs crates/netsim/src/units.rs crates/netsim/src/wire.rs
+
+/root/repo/target/release/deps/libsvr_netsim-0344597c7be2803f.rmeta: crates/netsim/src/lib.rs crates/netsim/src/buf.rs crates/netsim/src/capture.rs crates/netsim/src/counters.rs crates/netsim/src/flow.rs crates/netsim/src/link.rs crates/netsim/src/netem.rs crates/netsim/src/network.rs crates/netsim/src/node.rs crates/netsim/src/packet.rs crates/netsim/src/pcap.rs crates/netsim/src/queue.rs crates/netsim/src/rng.rs crates/netsim/src/time.rs crates/netsim/src/units.rs crates/netsim/src/wire.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/buf.rs:
+crates/netsim/src/capture.rs:
+crates/netsim/src/counters.rs:
+crates/netsim/src/flow.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/netem.rs:
+crates/netsim/src/network.rs:
+crates/netsim/src/node.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/pcap.rs:
+crates/netsim/src/queue.rs:
+crates/netsim/src/rng.rs:
+crates/netsim/src/time.rs:
+crates/netsim/src/units.rs:
+crates/netsim/src/wire.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/svr_platform-3ea9c723b4fd6537.d: crates/platform/src/lib.rs crates/platform/src/autodriver.rs crates/platform/src/config.rs crates/platform/src/client_app.rs crates/platform/src/features.rs crates/platform/src/game.rs crates/platform/src/server.rs crates/platform/src/session.rs crates/platform/src/stream.rs
+
+/root/repo/target/release/deps/libsvr_platform-3ea9c723b4fd6537.rlib: crates/platform/src/lib.rs crates/platform/src/autodriver.rs crates/platform/src/config.rs crates/platform/src/client_app.rs crates/platform/src/features.rs crates/platform/src/game.rs crates/platform/src/server.rs crates/platform/src/session.rs crates/platform/src/stream.rs
+
+/root/repo/target/release/deps/libsvr_platform-3ea9c723b4fd6537.rmeta: crates/platform/src/lib.rs crates/platform/src/autodriver.rs crates/platform/src/config.rs crates/platform/src/client_app.rs crates/platform/src/features.rs crates/platform/src/game.rs crates/platform/src/server.rs crates/platform/src/session.rs crates/platform/src/stream.rs
+
+crates/platform/src/lib.rs:
+crates/platform/src/autodriver.rs:
+crates/platform/src/config.rs:
+crates/platform/src/client_app.rs:
+crates/platform/src/features.rs:
+crates/platform/src/game.rs:
+crates/platform/src/server.rs:
+crates/platform/src/session.rs:
+crates/platform/src/stream.rs:

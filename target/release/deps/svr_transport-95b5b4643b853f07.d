@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/svr_transport-95b5b4643b853f07.d: crates/transport/src/lib.rs crates/transport/src/http.rs crates/transport/src/ping.rs crates/transport/src/rtp.rs crates/transport/src/tcp.rs crates/transport/src/tls.rs crates/transport/src/udp.rs
+
+/root/repo/target/release/deps/libsvr_transport-95b5b4643b853f07.rlib: crates/transport/src/lib.rs crates/transport/src/http.rs crates/transport/src/ping.rs crates/transport/src/rtp.rs crates/transport/src/tcp.rs crates/transport/src/tls.rs crates/transport/src/udp.rs
+
+/root/repo/target/release/deps/libsvr_transport-95b5b4643b853f07.rmeta: crates/transport/src/lib.rs crates/transport/src/http.rs crates/transport/src/ping.rs crates/transport/src/rtp.rs crates/transport/src/tcp.rs crates/transport/src/tls.rs crates/transport/src/udp.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/http.rs:
+crates/transport/src/ping.rs:
+crates/transport/src/rtp.rs:
+crates/transport/src/tcp.rs:
+crates/transport/src/tls.rs:
+crates/transport/src/udp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/reproduce_all-416d779ccad544f1.d: examples/reproduce_all.rs
+
+/root/repo/target/release/examples/reproduce_all-416d779ccad544f1: examples/reproduce_all.rs
+
+examples/reproduce_all.rs:

@@ -75,7 +75,7 @@ fn live_session_traffic_survives_a_pcap_roundtrip() {
         if rec.flow.proto == Proto::Tcp {
             hdr = TransportHeader::tcp(rec.flow.src_port, rec.flow.dst_port, 0, 0, Default::default());
         }
-        let mut pkt = Packet::new(hdr, bytes::Bytes::from(vec![0u8; rec.payload_len as usize]));
+        let mut pkt = Packet::new(hdr, metaverse_measurement::netsim::buf::Bytes::from(vec![0u8; rec.payload_len as usize]));
         pkt.src = rec.flow.src;
         pkt.dst = rec.flow.dst;
         pkt.id = rec.packet_id;
