@@ -81,7 +81,7 @@ impl DeadReckoner {
             return 0.0;
         }
         let mut sorted = self.errors_m.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         sorted[((sorted.len() - 1) as f32 * 0.95) as usize]
     }
 

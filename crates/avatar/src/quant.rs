@@ -48,7 +48,7 @@ pub fn quantize_quat(q: Quat) -> u32 {
     let (largest_idx, _) = comps
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+        .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
         .unwrap();
     // Canonical sign: make the dropped component non-negative.
     let sign = if comps[largest_idx] < 0.0 { -1.0 } else { 1.0 };

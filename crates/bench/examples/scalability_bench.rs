@@ -1,0 +1,89 @@
+//! `scalability_bench` — the room-size sweep behind `BENCH_netsim.json`.
+//!
+//! Sweeps room sizes 2 → 512 users across the four forwarding policies
+//! (direct, viewport-adaptive, interest management, remote rendering),
+//! measuring wall time, simulated events/sec and packets/sec per point
+//! through `svr_bench::scalability`, and writes the result as a
+//! `BENCH_netsim.json` document via the harness telemetry path (the
+//! dependency-free JSON emitter + git revision probe that also produce
+//! `BENCH_harness.json`).
+//!
+//! ```sh
+//! cargo run --release -p svr-bench --example scalability_bench            # writes ./BENCH_netsim.json
+//! cargo run --release -p svr-bench --example scalability_bench -- --out /tmp/B.json --seed 7
+//! ```
+//!
+//! Like `BENCH_harness.json`, the document carries wall-clock rates and
+//! is **not** expected to be byte-reproducible; the determinism gate
+//! ignores `BENCH_*.json`.
+
+use svr_bench::scalability::{run_sweep, PointResult};
+use svr_harness::json::Json;
+use svr_harness::telemetry::git_rev;
+
+fn row(r: &PointResult) -> Json {
+    Json::obj()
+        .set("policy", r.policy)
+        .set("users", r.users)
+        .set("messages", r.messages)
+        .set("forwards", r.forwards)
+        .set("sim_events", r.sim_events)
+        .set("sim_packets", r.sim_packets)
+        .set("wall_s", r.wall.as_secs_f64())
+        .set("events_per_sec", r.events_per_sec())
+        .set("packets_per_sec", r.packets_per_sec())
+}
+
+fn main() {
+    let mut out = String::from("BENCH_netsim.json");
+    let mut seed = 1u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(path) => out = path,
+                None => return fail("--out needs a path"),
+            },
+            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => return fail("--seed needs an integer"),
+            },
+            "--help" | "-h" => {
+                println!("usage: scalability_bench [--out FILE] [--seed N]");
+                return;
+            }
+            other => return fail(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    eprintln!("scalability_bench: sweeping room sizes 2..512 over 4 policies (seed {seed})");
+    let rows = run_sweep(seed);
+    for r in &rows {
+        eprintln!(
+            "  {:<13} {:>4} users  {:>8} msgs  {:>9} fwds  {:>11.0} events/s  {:>10.0} pkts/s  {:>7.3}s",
+            r.policy,
+            r.users,
+            r.messages,
+            r.forwards,
+            r.events_per_sec(),
+            r.packets_per_sec(),
+            r.wall.as_secs_f64(),
+        );
+    }
+
+    let doc = Json::obj()
+        .set("bench", "svr-netsim scalability")
+        .set("artefact", "room-size sweep (2..512 users) per forwarding policy")
+        .set("seed", seed)
+        .set("git_rev", git_rev().map(Json::Str).unwrap_or(Json::Null))
+        .set("rows", Json::Arr(rows.iter().map(row).collect()));
+    if let Err(e) = std::fs::write(&out, doc.pretty()) {
+        return fail(&format!("cannot write {out}: {e}"));
+    }
+    eprintln!("scalability_bench: wrote {out}");
+}
+
+fn fail(msg: &str) {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}

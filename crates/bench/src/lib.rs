@@ -11,6 +11,8 @@
 //! the dev-dependency in `Cargo.toml`; it needs registry access) swaps
 //! the same bench sources onto real criterion unchanged.
 
+pub mod scalability;
+
 /// Print a report exactly once per process (the timing loop calls the
 /// closure many times; the rows only need to appear once).
 pub fn print_once(flag: &std::sync::Once, report: impl std::fmt::Display) {

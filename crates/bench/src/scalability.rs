@@ -1,0 +1,230 @@
+//! Room-size scalability sweep over the forwarding policies.
+//!
+//! The paper's §6 finding — per-user throughput grows almost linearly
+//! with room population under direct forwarding — lives at room sizes
+//! the full session harness cannot reach cheaply. This module drives the
+//! platform [`DataServer`] over a real [`Network`] in a stripped-down
+//! microworld (no monitors, no control channel, no games): `n` users on
+//! dedicated campus links push avatar updates while the server forwards
+//! them under one [`ForwardPolicy`]. Wall time and the thread-local
+//! simulation counters yield events/sec and packets/sec per point, the
+//! perf trajectory recorded in `BENCH_netsim.json`.
+//!
+//! Everything here is measurement-only: the sweep shares the simulator's
+//! determinism (same seed → same forwarding decisions) but its wall
+//! times are, by nature, not reproducible.
+
+use std::time::{Duration, Instant};
+
+use svr_avatar::codec::{encode_update, make_update};
+use svr_avatar::motion::MotionState;
+use svr_avatar::skeleton::Vec3;
+use svr_netsim::counters;
+use svr_netsim::{Bitrate, LinkSpec, Network, NodeId, NodeKind, SimDuration, SimTime};
+use svr_platform::server::{DataServer, DATA_SERVER_PORT};
+use svr_platform::{ForwardPolicy, PlatformConfig};
+use svr_transport::udp::{MsgKind, UdpChannel};
+
+/// One measured (policy, room size) point.
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    /// Policy label (`direct`, `viewport`, `interest`, `remote_render`).
+    pub policy: &'static str,
+    /// Concurrent users in the room.
+    pub users: usize,
+    /// Avatar messages injected by clients.
+    pub messages: u64,
+    /// Messages the server fanned out to receivers.
+    pub forwards: u64,
+    /// Discrete network events processed (Tx completions, hop arrivals).
+    pub sim_events: u64,
+    /// Packets delivered end-to-end.
+    pub sim_packets: u64,
+    /// Wall-clock time for the point.
+    pub wall: Duration,
+}
+
+impl PointResult {
+    fn per_sec(&self, count: u64) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s > 0.0 {
+            count as f64 / s
+        } else {
+            0.0
+        }
+    }
+
+    /// Simulation events processed per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.per_sec(self.sim_events)
+    }
+
+    /// Packets delivered per wall-clock second.
+    pub fn packets_per_sec(&self) -> f64 {
+        self.per_sec(self.sim_packets)
+    }
+}
+
+/// The policies the sweep compares, with stable labels.
+pub fn policies() -> Vec<(&'static str, ForwardPolicy)> {
+    vec![
+        ("direct", ForwardPolicy::Direct),
+        ("viewport", ForwardPolicy::ViewportAdaptive { width_deg: 150.0 }),
+        ("interest", ForwardPolicy::InterestManagement { focus: 8, background_hz: 1.0 }),
+        (
+            "remote_render",
+            ForwardPolicy::RemoteRender { bitrate: Bitrate::from_mbps(8), frame_hz: 60.0 },
+        ),
+    ]
+}
+
+/// Default room sizes for the sweep (2 → 512 users).
+pub const ROOM_SIZES: [usize; 5] = [2, 8, 32, 128, 512];
+
+/// Update rounds per room size: total injected messages are bounded so
+/// the 512-user points stay tractable while small rooms get enough
+/// rounds for stable timing.
+pub fn rounds_for(users: usize) -> u64 {
+    (1024 / users as u64).clamp(2, 32)
+}
+
+/// Deterministic spawn spot for user `u`: a loose spiral so distances —
+/// and therefore focus sets and viewport decisions — are non-trivial.
+fn spawn(u: usize) -> Vec3 {
+    let golden = 2.399_963_f32; // radians
+    let r = 1.0 + 0.15 * u as f32;
+    let a = u as f32 * golden;
+    Vec3::new(r * a.cos(), 0.0, r * a.sin())
+}
+
+/// Run one (policy, room size) point and measure it.
+///
+/// The microworld: one server node, `users` headsets each on a duplex
+/// campus link straight to the server. Every 100 ms of simulated time
+/// each user steps its wander motion and uploads one avatar update; the
+/// pump interleaves deliveries, server processing, and server timers,
+/// then drains two extra seconds so every scheduled forward lands.
+pub fn run_point(policy: ForwardPolicy, label: &'static str, users: usize, seed: u64) -> PointResult {
+    let started = Instant::now();
+    let before = counters::snapshot();
+
+    let mut cfg = PlatformConfig::vrchat();
+    cfg.forward_policy = policy;
+
+    let mut net = Network::new(seed);
+    let server_node = net.add_node("data-server", NodeKind::Server);
+    let mut nodes: Vec<NodeId> = Vec::with_capacity(users);
+    for u in 0..users {
+        let node = net.add_node(format!("U{u}"), NodeKind::Headset);
+        net.add_duplex_link(node, server_node, LinkSpec::campus(), LinkSpec::campus());
+        nodes.push(node);
+    }
+
+    let mut server = DataServer::new(server_node, &cfg, seed);
+    let mut channels: Vec<UdpChannel> = Vec::with_capacity(users);
+    let mut motions: Vec<MotionState> = Vec::with_capacity(users);
+    for (u, &node) in nodes.iter().enumerate() {
+        let port = 20_000 + u as u16;
+        server.register(u as u32, node, port, SimTime::ZERO);
+        channels.push(UdpChannel::new(u as u16, port, DATA_SERVER_PORT, SimTime::ZERO));
+        let mut m = MotionState::new(seed ^ (u as u64).wrapping_mul(0x9E37_79B9), spawn(u), 0.0);
+        m.wander();
+        motions.push(m);
+    }
+
+    let rounds = rounds_for(users);
+    let round_len = SimDuration::from_millis(100);
+    let mut messages = 0u64;
+
+    let pump = |net: &mut Network, server: &mut DataServer, t: SimTime| {
+        for d in net.poll_all(t) {
+            if d.dst == server_node {
+                for (node, p) in server.on_packet(d.at, &d.packet) {
+                    net.send(server_node, node, p);
+                }
+            }
+            // Client-bound deliveries are sinks: the microworld measures
+            // the server + network hot path, not client decode.
+        }
+        for (node, p) in server.on_tick(t) {
+            net.send(server_node, node, p);
+        }
+    };
+
+    for r in 0..rounds {
+        let t = SimTime::ZERO + round_len * r;
+        for u in 0..users {
+            let (pose, vel) = motions[u].step(0.1, &cfg.embodiment);
+            let body = encode_update(&make_update(u as u32, r as u32, &cfg.embodiment, pose, vel));
+            if let Some(p) = channels[u].send(MsgKind::Avatar, t, &body) {
+                net.send(nodes[u], server_node, p);
+                messages += 1;
+            }
+        }
+        pump(&mut net, &mut server, t);
+    }
+
+    // Drain: run the clock past every pending proc-delay forward.
+    let end = SimTime::ZERO + round_len * rounds;
+    for k in 1..=40u64 {
+        pump(&mut net, &mut server, end + SimDuration::from_millis(50) * k);
+    }
+
+    let delta = counters::snapshot().since(before);
+    PointResult {
+        policy: label,
+        users,
+        messages,
+        forwards: server.stats.forwards,
+        sim_events: delta.events,
+        sim_packets: delta.packets_delivered,
+        wall: started.elapsed(),
+    }
+}
+
+/// Run the full sweep: every policy × every room size.
+pub fn run_sweep(seed: u64) -> Vec<PointResult> {
+    let mut rows = Vec::new();
+    for (label, policy) in policies() {
+        for &n in ROOM_SIZES.iter() {
+            rows.push(run_point(policy, label, n, seed));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_counts_messages_and_forwards() {
+        let r = run_point(ForwardPolicy::Direct, "direct", 4, 7);
+        assert_eq!(r.users, 4);
+        assert_eq!(r.messages, 4 * rounds_for(4));
+        // Direct forwarding fans every message out to the other 3 users.
+        assert_eq!(r.forwards, r.messages * 3);
+        assert!(r.sim_events > 0 && r.sim_packets > 0);
+        assert!(r.events_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn interest_management_throttles_out_of_focus() {
+        let r = run_point(
+            ForwardPolicy::InterestManagement { focus: 2, background_hz: 0.5 },
+            "interest",
+            16,
+            7,
+        );
+        // With focus=2 of 15 possible receivers, most forwards are
+        // suppressed relative to direct fan-out.
+        assert!(r.forwards < r.messages * 15 / 2, "forwards {} of {} msgs", r.forwards, r.messages);
+    }
+
+    #[test]
+    fn rounds_scale_down_with_room_size() {
+        assert_eq!(rounds_for(2), 32);
+        assert_eq!(rounds_for(512), 2);
+        assert!(rounds_for(128) < rounds_for(32));
+    }
+}

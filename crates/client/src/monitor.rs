@@ -119,8 +119,14 @@ fn summarize(slice: &[&MetricSample]) -> MonitorSummary {
         avg_cpu: sum(|s| s.cpu),
         avg_gpu: sum(|s| s.gpu),
         avg_memory_mb: sum(|s| s.memory_mb),
-        battery_used_pct: slice.first().map(|f| f.battery_pct).unwrap_or(100.0)
-            - slice.last().map(|l| l.battery_pct).unwrap_or(100.0),
+        // Max − min over the window, not first − last: samples are not
+        // guaranteed monotone (a charging headset, or a window cut
+        // across a battery reset) and drain can never be negative.
+        battery_used_pct: {
+            let max = slice.iter().map(|s| s.battery_pct).fold(f64::MIN, f64::max);
+            let min = slice.iter().map(|s| s.battery_pct).fold(f64::MAX, f64::min);
+            max - min
+        },
         samples: n,
     }
 }
@@ -150,6 +156,30 @@ mod tests {
         assert!(sum.avg_fps > 60.0 && sum.avg_fps <= 72.0);
         assert!(sum.avg_cpu > 50.0);
         assert!(sum.battery_used_pct > 0.0 && sum.battery_used_pct < 2.0);
+    }
+
+    #[test]
+    fn battery_drain_never_negative_on_non_monotone_samples() {
+        // A headset that charges mid-window (battery rises) used to
+        // report negative drain under the first − last formula.
+        let mk = |ts: u64, battery_pct: f64| MetricSample {
+            ts: SimTime::from_secs(ts),
+            fps: 72.0,
+            stale: 0.0,
+            cpu: 10.0,
+            gpu: 10.0,
+            memory_mb: 100.0,
+            battery_pct,
+        };
+        let rising = [mk(0, 80.0), mk(1, 85.0), mk(2, 90.0)];
+        let refs: Vec<&MetricSample> = rising.iter().collect();
+        let sum = summarize(&refs);
+        assert!(sum.battery_used_pct >= 0.0, "drain {} must be ≥ 0", sum.battery_used_pct);
+        assert!((sum.battery_used_pct - 10.0).abs() < 1e-9, "max − min over the window");
+        // A dip-and-recover window reports the full excursion.
+        let dip = [mk(0, 90.0), mk(1, 84.0), mk(2, 88.0)];
+        let refs: Vec<&MetricSample> = dip.iter().collect();
+        assert!((summarize(&refs).battery_used_pct - 6.0).abs() < 1e-9);
     }
 
     #[test]

@@ -90,7 +90,7 @@ pub fn run(cfg: Table4Config) -> Table4Report {
     ];
     // The paper orders by ascending E2E (with Hubs* last).
     let hubs_star = rows.pop().unwrap();
-    rows.sort_by(|a, b| a.breakdown.e2e.mean.partial_cmp(&b.breakdown.e2e.mean).unwrap());
+    rows.sort_by(|a, b| a.breakdown.e2e.mean.total_cmp(&b.breakdown.e2e.mean));
     rows.push(hubs_star);
     Table4Report { rows }
 }

@@ -44,7 +44,7 @@ pub fn network_path_estimate_ms(cfg: &PlatformConfig, vantage: Site) -> f64 {
 pub fn breakdown(actions: &[ActionLatency], cfg: &PlatformConfig, vantage: Site) -> LatencyBreakdown {
     let net = network_path_estimate_ms(cfg, vantage);
     let mut transits: Vec<f64> = actions.iter().map(|a| a.transit().as_millis_f64()).collect();
-    transits.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    transits.sort_by(|a, b| a.total_cmp(b));
     let median = transits.get(transits.len() / 2).copied().unwrap_or(0.0);
     let keep: Vec<&ActionLatency> = actions
         .iter()

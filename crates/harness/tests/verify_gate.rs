@@ -1,0 +1,83 @@
+//! Regression tests for the determinism gate's artifact comparator
+//! (`scripts/compare_artifact_dirs.sh`).
+//!
+//! The original gate iterated `j1/*.json` only, so an artifact that
+//! existed in one output directory but not the other slipped through.
+//! These tests pin the hardened behaviour: byte differences fail, set
+//! asymmetry fails *in both directions*, and `BENCH_*.json` telemetry
+//! stays excluded.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn script() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scripts/compare_artifact_dirs.sh")
+}
+
+/// Run the comparator on two freshly-populated temp dirs; returns the
+/// exit code. Each entry is `(file name, contents)`.
+fn compare(a: &[(&str, &str)], b: &[(&str, &str)]) -> i32 {
+    let base = std::env::temp_dir().join(format!(
+        "svr-verify-gate-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let dir_a = base.join("a");
+    let dir_b = base.join("b");
+    let _ = fs::remove_dir_all(&base);
+    fs::create_dir_all(&dir_a).unwrap();
+    fs::create_dir_all(&dir_b).unwrap();
+    for (name, contents) in a {
+        fs::write(dir_a.join(name), contents).unwrap();
+    }
+    for (name, contents) in b {
+        fs::write(dir_b.join(name), contents).unwrap();
+    }
+    let status = Command::new("bash")
+        .arg(script())
+        .arg(&dir_a)
+        .arg(&dir_b)
+        .output()
+        .expect("run compare_artifact_dirs.sh");
+    let _ = fs::remove_dir_all(&base);
+    status.status.code().unwrap_or(-1)
+}
+
+#[test]
+fn identical_directories_pass() {
+    let files = [("t1.json", "{\"a\":1}"), ("t2.json", "{\"b\":2}")];
+    assert_eq!(compare(&files, &files), 0);
+}
+
+#[test]
+fn byte_difference_fails() {
+    assert_eq!(compare(&[("t.json", "{\"a\":1}")], &[("t.json", "{\"a\":2}")]), 1);
+}
+
+#[test]
+fn missing_artifact_in_second_dir_fails() {
+    let a = [("t.json", "{}"), ("extra.json", "{}")];
+    let b = [("t.json", "{}")];
+    assert_eq!(compare(&a, &b), 1, "artifact only in dir A must fail");
+}
+
+#[test]
+fn missing_artifact_in_first_dir_fails() {
+    // The direction the one-sided `for f in j1/*.json` loop missed.
+    let a = [("t.json", "{}")];
+    let b = [("t.json", "{}"), ("extra.json", "{}")];
+    assert_eq!(compare(&a, &b), 1, "artifact only in dir B must fail");
+}
+
+#[test]
+fn bench_telemetry_is_excluded_even_when_asymmetric() {
+    let a = [("t.json", "{}"), ("BENCH_harness.json", "{\"wall\":1.0}")];
+    let b = [("t.json", "{}"), ("BENCH_netsim.json", "{\"wall\":2.0}")];
+    assert_eq!(compare(&a, &b), 0, "BENCH_*.json never participates");
+}
+
+#[test]
+fn empty_directories_fail_rather_than_vacuously_pass() {
+    assert_eq!(compare(&[], &[]), 1, "no comparable artifacts is a failure");
+}

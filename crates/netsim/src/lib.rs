@@ -53,6 +53,7 @@ pub mod queue;
 pub mod rng;
 pub mod time;
 pub mod units;
+pub mod wheel;
 pub mod wire;
 
 pub use buf::{Bytes, BytesMut};

@@ -13,8 +13,8 @@ use crate::node::{Node, NodeId, NodeKind};
 use crate::packet::Packet;
 use crate::rng::SimRng;
 use crate::time::SimTime;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use crate::wheel::TimerWheel;
+use std::collections::{HashMap, VecDeque};
 
 /// A packet handed to its destination node.
 #[derive(Debug, Clone)]
@@ -35,30 +35,6 @@ enum EventKind {
     HopArrive { node: NodeId, packet: Packet },
 }
 
-#[derive(Debug)]
-struct Event {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
 /// The simulated network.
 #[derive(Debug)]
 pub struct Network {
@@ -68,7 +44,9 @@ pub struct Network {
     adjacency: Vec<Vec<LinkId>>,
     /// Next-hop cache: (from, to) → first link of the shortest path.
     routes: HashMap<(NodeId, NodeId), LinkId>,
-    events: BinaryHeap<Reverse<Event>>,
+    /// Pending events in `(time, seq)` order; the wheel pops in exactly
+    /// the order the former binary heap did.
+    events: TimerWheel<EventKind>,
     now: SimTime,
     next_seq: u64,
     next_packet_id: u64,
@@ -85,7 +63,7 @@ impl Network {
             links: Vec::new(),
             adjacency: Vec::new(),
             routes: HashMap::new(),
-            events: BinaryHeap::new(),
+            events: TimerWheel::new(),
             now: SimTime::ZERO,
             next_seq: 0,
             next_packet_id: 0,
@@ -175,7 +153,7 @@ impl Network {
     fn schedule(&mut self, at: SimTime, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.events.push(Reverse(Event { at, seq, kind }));
+        self.events.push(at, seq, kind);
     }
 
     /// Compute (and cache) the next hop from `from` toward `to` with a BFS
@@ -332,15 +310,15 @@ impl Network {
         if !self.pending.is_empty() {
             return Some(self.now);
         }
-        self.events.peek().map(|Reverse(e)| e.at)
+        self.events.peek().map(|(at, _)| at)
     }
 
     fn step(&mut self) {
-        let Reverse(ev) = self.events.pop().expect("step with empty queue");
-        debug_assert!(ev.at >= self.now, "event in the past");
+        let (at, _seq, kind) = self.events.pop().expect("step with empty queue");
+        debug_assert!(at >= self.now, "event in the past");
         crate::counters::count_event();
-        self.now = ev.at;
-        match ev.kind {
+        self.now = at;
+        match kind {
             EventKind::TxDone { link, packet } => self.on_tx_done(link, packet),
             EventKind::HopArrive { node, packet } => self.on_hop_arrive(node, packet),
         }
@@ -356,7 +334,7 @@ impl Network {
                 return Some(d);
             }
             match self.events.peek() {
-                Some(Reverse(e)) if e.at <= until => self.step(),
+                Some((at, _)) if at <= until => self.step(),
                 _ => {
                     self.now = self.now.max(until);
                     return None;
@@ -368,8 +346,8 @@ impl Network {
     /// Advance to `until`, collecting every delivery on the way.
     pub fn poll_all(&mut self, until: SimTime) -> Vec<Delivery> {
         let mut out = Vec::new();
-        while let Some(Reverse(e)) = self.events.peek() {
-            if e.at > until {
+        while let Some((at, _)) = self.events.peek() {
+            if at > until {
                 break;
             }
             self.step();

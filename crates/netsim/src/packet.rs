@@ -135,6 +135,26 @@ impl TransportHeader {
 /// Fixed L2+L3 overhead per packet: Ethernet (14) + IPv4 (20) bytes.
 pub const L2_L3_OVERHEAD: u64 = 34;
 
+/// An all-zero payload of `len` bytes backed by a shared, thread-local
+/// buffer: repeated padding bodies (status beacons, synthetic video
+/// frames, fixed-size game ticks) alias one allocation instead of
+/// building a fresh `Vec` per packet. The backing block grows
+/// monotonically to the largest size requested, so steady-state calls
+/// are O(1) reference-count bumps.
+pub fn zero_payload(len: usize) -> Bytes {
+    use std::cell::RefCell;
+    thread_local! {
+        static ZEROS: RefCell<Bytes> = RefCell::new(Bytes::new());
+    }
+    ZEROS.with(|z| {
+        let mut z = z.borrow_mut();
+        if z.len() < len {
+            *z = Bytes::from(vec![0u8; len.next_power_of_two()]);
+        }
+        z.slice(..len)
+    })
+}
+
 /// A packet in flight.
 #[derive(Debug, Clone)]
 pub struct Packet {
@@ -179,6 +199,22 @@ impl Packet {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn zero_payload_aliases_one_allocation() {
+        let a = zero_payload(100);
+        let b = zero_payload(64);
+        assert_eq!(a.len(), 100);
+        assert!(a.iter().all(|&x| x == 0));
+        assert_eq!(b.len(), 64);
+        // Both slices view the same backing block.
+        assert_eq!(a.as_slice()[..64].as_ptr(), b.as_slice().as_ptr());
+        // Growing past the cached block reallocates once, then aliases.
+        let big = zero_payload(5000);
+        assert_eq!(big.len(), 5000);
+        let again = zero_payload(5000);
+        assert_eq!(big.as_slice().as_ptr(), again.as_slice().as_ptr());
+    }
 
     #[test]
     fn wire_size_includes_all_headers() {

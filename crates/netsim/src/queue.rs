@@ -23,9 +23,15 @@ pub struct DropTailQueue {
 
 impl DropTailQueue {
     /// Create a queue holding at most `capacity` bytes of packets.
+    ///
+    /// The ring buffer is pre-sized for the packet count the byte
+    /// capacity could plausibly hold (assuming ~256-byte packets,
+    /// capped at 4096 slots), so bursts fill existing slots instead of
+    /// reallocating mid-simulation; draining keeps the allocation.
     pub fn new(capacity: ByteSize) -> Self {
+        let est = (capacity.as_bytes() / 256).clamp(8, 4096) as usize;
         DropTailQueue {
-            items: VecDeque::new(),
+            items: VecDeque::with_capacity(est),
             buffered: ByteSize::ZERO,
             capacity,
             drops: 0,

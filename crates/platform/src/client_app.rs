@@ -16,6 +16,7 @@ use std::collections::VecDeque;
 use svr_avatar::codec::{decode_update, encode_update, make_update};
 use svr_avatar::motion::MotionState;
 use svr_avatar::skeleton::Vec3;
+use svr_netsim::packet::zero_payload;
 use svr_netsim::{NodeId, Packet, SimDuration, SimRng, SimTime};
 use svr_transport::http::{HttpClient, HttpEvent};
 use svr_transport::rtp::{RtpReceiver, RtpSender};
@@ -106,7 +107,7 @@ pub struct ClientApp {
     menus_remaining: u32,
 
     /// Worlds gating: UDP messages held while TCP has unacked data.
-    gated: VecDeque<(MsgKind, Vec<u8>)>,
+    gated: VecDeque<(MsgKind, Bytes)>,
     /// When continuous gating began (None when not gated).
     gated_since: Option<SimTime>,
     /// TCP bytes acked at the last progress check: any growth counts as
@@ -328,7 +329,7 @@ impl ClientApp {
     }
 
     /// Send (or gate) a data-channel message.
-    fn send_data(&mut self, now: SimTime, kind: MsgKind, body: Vec<u8>, out: &mut Vec<Outgoing>) {
+    fn send_data(&mut self, now: SimTime, kind: MsgKind, body: Bytes, out: &mut Vec<Outgoing>) {
         // Worlds' TCP-priority rule: hold UDP while TCP has unacked data.
         if self.cfg.tcp_priority && self.control.has_unacked_data() {
             self.gated_since.get_or_insert(now);
@@ -362,9 +363,9 @@ impl ClientApp {
         }
         // Stale motion updates are superseded: keep only the most recent
         // avatar and game update, but every telemetry message.
-        let mut latest_avatar: Option<Vec<u8>> = None;
-        let mut latest_game: Option<Vec<u8>> = None;
-        let mut others: Vec<(MsgKind, Vec<u8>)> = Vec::new();
+        let mut latest_avatar: Option<Bytes> = None;
+        let mut latest_game: Option<Bytes> = None;
+        let mut others: Vec<(MsgKind, Bytes)> = Vec::new();
         for (kind, body) in self.gated.drain(..) {
             match kind {
                 MsgKind::Avatar => latest_avatar = Some(body),
@@ -585,7 +586,7 @@ impl ClientApp {
                 let tick = self.avatar_tick;
                 let body = self.avatar_body(0.0);
                 events.push(ClientEvent::ActionSent { action_id: id, tick, performed_at: performed });
-                self.send_data(now, MsgKind::Avatar, body, out);
+                self.send_data(now, MsgKind::Avatar, Bytes::from(body), out);
             }
         }
 
@@ -594,13 +595,13 @@ impl ClientApp {
         if now >= self.next_avatar {
             self.next_avatar = now + avatar_interval;
             let body = self.avatar_body(avatar_interval.as_secs_f64());
-            self.send_data(now, MsgKind::Avatar, body, out);
+            self.send_data(now, MsgKind::Avatar, Bytes::from(body), out);
         }
 
         // Voice frames (when unmuted).
         if !self.muted && self.cfg.voice_frame_hz > 0.0 && now >= self.next_voice {
             self.next_voice = now + SimDuration::from_secs_f64(1.0 / self.cfg.voice_frame_hz);
-            let body = vec![0u8; self.cfg.voice_frame_bytes];
+            let body = zero_payload(self.cfg.voice_frame_bytes);
             if let Some((tx, _)) = &mut self.rtp_voice {
                 // Hubs: voice over RTP/UDP, avatar over HTTPS (§4.1).
                 out.push((self.data_server, tx.media(&body)));
@@ -615,7 +616,7 @@ impl ClientApp {
         // Status messages.
         if self.cfg.status_rate_hz > 0.0 && now >= self.next_status {
             self.next_status = now + SimDuration::from_secs_f64(1.0 / self.cfg.status_rate_hz);
-            let body = vec![0u8; self.cfg.status_bytes];
+            let body = zero_payload(self.cfg.status_bytes);
             self.send_data(now, MsgKind::Other, body, out);
         }
 
@@ -623,14 +624,14 @@ impl ClientApp {
         if self.cfg.telemetry_rate_hz > 0.0 && now >= self.next_telemetry {
             self.next_telemetry =
                 now + SimDuration::from_secs_f64(1.0 / self.cfg.telemetry_rate_hz);
-            let body = vec![0u8; self.cfg.telemetry_bytes];
+            let body = zero_payload(self.cfg.telemetry_bytes);
             self.send_data(now, MsgKind::Other, body, out);
         }
 
         // Game updates.
         let game_body = self.game.as_mut().and_then(|g| g.on_tick(now));
         if let Some(body) = game_body {
-            self.send_data(now, MsgKind::Game, body, out);
+            self.send_data(now, MsgKind::Game, Bytes::from(body), out);
         }
     }
 }

@@ -94,6 +94,39 @@ enum ServerChannel {
     Stream(Box<StreamChannel>),
 }
 
+/// The cached focus-set boundary for one receiver: everything needed to
+/// answer "is `sender` among my `focus` nearest?" in O(1) without
+/// re-sorting the room.
+///
+/// Membership is decided on the lexicographic key `(distance, user id)`
+/// — exactly the order the original stable distance sort produced, since
+/// users iterate in ascending-id order out of the `BTreeMap` and a
+/// stable sort keeps that order among equal distances.
+#[derive(Debug, Clone, Copy)]
+enum FocusBound {
+    /// `focus == 0`: nobody is in focus.
+    Empty,
+    /// Fewer than `focus` other users: everybody is in focus.
+    All,
+    /// The `focus`-th smallest `(distance, id)` key; a sender is in
+    /// focus iff its own key is ≤ this bound.
+    Key(f32, u32),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FocusCache {
+    /// [`DataServer::pos_epoch`] the bound was computed at.
+    epoch: u64,
+    /// The `focus` parameter the bound was computed for.
+    focus: usize,
+    bound: FocusBound,
+}
+
+impl FocusCache {
+    /// A cache that can never match a live epoch (epochs start at 1).
+    const STALE: FocusCache = FocusCache { epoch: 0, focus: 0, bound: FocusBound::Empty };
+}
+
 struct UserEntry {
     node: NodeId,
     chan: ServerChannel,
@@ -106,6 +139,8 @@ struct UserEntry {
     /// Per-sender throttle clock for interest management:
     /// (sender, earliest next forward).
     background_next: Vec<(u32, SimTime)>,
+    /// Cached k-NN boundary for this receiver's focus set.
+    focus_cache: FocusCache,
 }
 
 /// Counters exposed to the experiments.
@@ -162,6 +197,15 @@ pub struct DataServer {
     pending: BinaryHeap<Reverse<PendingForward>>,
     seq: u64,
     rng: SimRng,
+    /// Bumped whenever any user's position changes or the roster
+    /// changes; focus caches stamped with an older epoch are stale.
+    pos_epoch: u64,
+    /// Scratch for focus-bound selection, reused across messages.
+    focus_scratch: Vec<(f32, u32)>,
+    /// Scratch for the receiver list, reused across messages.
+    recv_scratch: Vec<u32>,
+    /// Scratch zero-filled body for status/video emission.
+    zero_scratch: Vec<u8>,
     /// Counters.
     pub stats: ServerStats,
 }
@@ -181,6 +225,10 @@ impl DataServer {
             pending: BinaryHeap::new(),
             seq: 0,
             rng: SimRng::seed_from_u64(seed ^ 0x5345_5256),
+            pos_epoch: 1,
+            focus_scratch: Vec::new(),
+            recv_scratch: Vec::new(),
+            zero_scratch: Vec::new(),
             stats: ServerStats::default(),
         }
     }
@@ -211,13 +259,17 @@ impl DataServer {
                 next_frame: now,
                 last_data: now,
                 background_next: Vec::new(),
+                focus_cache: FocusCache::STALE,
             },
         );
+        self.pos_epoch += 1;
     }
 
     /// Remove a user (left the event).
     pub fn unregister(&mut self, user_id: u32) {
-        self.users.remove(&user_id);
+        if self.users.remove(&user_id).is_some() {
+            self.pos_epoch += 1;
+        }
     }
 
     /// Connected user count.
@@ -241,8 +293,10 @@ impl DataServer {
             Some(u) => u.position,
             None => return,
         };
-        let receivers: Vec<u32> = self.users.keys().copied().filter(|u| *u != from_user).collect();
-        for dst in receivers {
+        let mut receivers = std::mem::take(&mut self.recv_scratch);
+        receivers.clear();
+        receivers.extend(self.users.keys().copied().filter(|u| *u != from_user));
+        for dst in receivers.iter().copied() {
             if let ForwardPolicy::ViewportAdaptive { width_deg } = self.policy {
                 let r = &self.users[&dst];
                 if !in_viewport(r.position, r.heading_deg, width_deg, sender_pos) {
@@ -281,19 +335,71 @@ impl DataServer {
             self.seq += 1;
             self.pending.push(Reverse(PendingForward { due, seq, dst_user: dst, kind, body: body.clone() }));
         }
+        self.recv_scratch = receivers;
     }
 
     /// Whether `sender` is among `receiver`'s `focus` nearest avatars.
-    fn in_focus(&self, receiver: u32, sender: u32, focus: usize) -> bool {
+    ///
+    /// Answered from the receiver's cached [`FocusBound`]; the k-NN
+    /// boundary is recomputed (O(n) selection, no allocation) only when
+    /// a position or the roster changed since it was stamped. Decisions
+    /// are identical to the original full stable distance sort: both
+    /// rank users by the lexicographic key `(distance, id)`, and
+    /// `total_cmp` agrees with `partial_cmp` on the non-negative
+    /// distances `sqrt` produces while also tolerating NaN positions
+    /// (which sort last instead of panicking).
+    fn in_focus(&mut self, receiver: u32, sender: u32, focus: usize) -> bool {
         let Some(r) = self.users.get(&receiver) else { return true };
-        let mut dists: Vec<(u32, f32)> = self
-            .users
-            .iter()
-            .filter(|(id, _)| **id != receiver)
-            .map(|(id, u)| (*id, u.position.distance(r.position)))
-            .collect();
-        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-        dists.iter().take(focus).any(|(id, _)| *id == sender)
+        let r_pos = r.position;
+        let cached = r.focus_cache;
+        let bound = if cached.epoch == self.pos_epoch && cached.focus == focus {
+            cached.bound
+        } else {
+            let bound = self.compute_focus_bound(receiver, r_pos, focus);
+            let epoch = self.pos_epoch;
+            if let Some(entry) = self.users.get_mut(&receiver) {
+                entry.focus_cache = FocusCache { epoch, focus, bound };
+            }
+            bound
+        };
+        match bound {
+            FocusBound::Empty => false,
+            FocusBound::All => true,
+            FocusBound::Key(bound_dist, bound_id) => {
+                let Some(s) = self.users.get(&sender) else { return false };
+                let d = s.position.distance(r_pos);
+                match d.total_cmp(&bound_dist) {
+                    std::cmp::Ordering::Less => true,
+                    std::cmp::Ordering::Equal => sender <= bound_id,
+                    std::cmp::Ordering::Greater => false,
+                }
+            }
+        }
+    }
+
+    /// Select the `focus`-th smallest `(distance, id)` key around
+    /// `receiver` — the focus-set boundary — reusing the scratch vector.
+    fn compute_focus_bound(&mut self, receiver: u32, r_pos: Vec3, focus: usize) -> FocusBound {
+        if focus == 0 {
+            return FocusBound::Empty;
+        }
+        let mut scratch = std::mem::take(&mut self.focus_scratch);
+        scratch.clear();
+        scratch.extend(
+            self.users
+                .iter()
+                .filter(|(id, _)| **id != receiver)
+                .map(|(id, u)| (u.position.distance(r_pos), *id)),
+        );
+        let bound = if scratch.len() <= focus {
+            FocusBound::All
+        } else {
+            let (_, kth, _) = scratch
+                .select_nth_unstable_by(focus - 1, |a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            FocusBound::Key(kth.0, kth.1)
+        };
+        self.focus_scratch = scratch;
+        bound
     }
 
     fn handle_msg(&mut self, now: SimTime, from_user: u32, kind: MsgKind, body: Bytes) {
@@ -317,6 +423,12 @@ impl DataServer {
                         .unwrap_or(0.0)
                         .rem_euclid(360.0);
                     if let Some(u) = self.users.get_mut(&from_user) {
+                        // `!=` is false only for bit-equal non-NaN
+                        // positions, so a NaN pose conservatively
+                        // invalidates the focus caches too.
+                        if u.position != pos {
+                            self.pos_epoch += 1;
+                        }
                         u.position = pos;
                         u.heading_deg = heading;
                     }
@@ -443,7 +555,9 @@ impl DataServer {
             .map(|(id, _)| *id)
             .collect();
         for id in stale {
-            self.users.remove(&id);
+            if self.users.remove(&id).is_some() {
+                self.pos_epoch += 1;
+            }
         }
 
         // Due forwards.
@@ -472,20 +586,25 @@ impl DataServer {
             _ => None,
         };
         let status_bytes = self.server_status_bytes;
+        // One shared zero-filled body instead of a fresh Vec per user
+        // per interval; sized for the largest emission this tick.
+        let max_body = status_bytes.max(render.map(|(_, b)| b).unwrap_or(0));
+        let mut zeros = std::mem::take(&mut self.zero_scratch);
+        if zeros.len() < max_body {
+            zeros.resize(max_body, 0);
+        }
         let mut video_frames = 0;
         for entry in self.users.values_mut() {
             if let Some(interval) = status_interval {
                 if now >= entry.next_status {
                     entry.next_status = now + interval;
-                    let body = vec![0u8; status_bytes];
-                    Self::send_to(entry, now, MsgKind::Other, &body, &mut out);
+                    Self::send_to(entry, now, MsgKind::Other, &zeros[..status_bytes], &mut out);
                 }
             }
             if let Some((interval, frame_bytes)) = render {
                 if now >= entry.next_frame {
                     entry.next_frame = now + interval;
-                    let body = vec![0u8; frame_bytes];
-                    Self::send_to(entry, now, MsgKind::Other, &body, &mut out);
+                    Self::send_to(entry, now, MsgKind::Other, &zeros[..frame_bytes], &mut out);
                     video_frames += 1;
                 }
             }
@@ -499,6 +618,7 @@ impl DataServer {
                 }
             }
         }
+        self.zero_scratch = zeros;
         self.stats.video_frames += video_frames;
         out
     }
@@ -686,6 +806,126 @@ mod tests {
             "Δ {} vs expected {expected_extra}",
             d7 - d2
         );
+    }
+
+    /// The pre-cache `in_focus`: full stable sort by distance, exactly
+    /// as the original implementation (the reference the cache must
+    /// reproduce decision-for-decision).
+    fn brute_force_in_focus(server: &DataServer, receiver: u32, sender: u32, focus: usize) -> bool {
+        let Some(r) = server.users.get(&receiver) else { return true };
+        let mut dists: Vec<(u32, f32)> = server
+            .users
+            .iter()
+            .filter(|(id, _)| **id != receiver)
+            .map(|(id, u)| (*id, u.position.distance(r.position)))
+            .collect();
+        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        dists.iter().take(focus).any(|(id, _)| *id == sender)
+    }
+
+    /// Directly move a user (tests reach the private fields) and bump
+    /// the epoch the way `handle_msg` would.
+    fn place(server: &mut DataServer, id: u32, pos: Vec3) {
+        let u = server.users.get_mut(&id).unwrap();
+        if u.position != pos {
+            server.pos_epoch += 1;
+        }
+        u.position = pos;
+    }
+
+    #[test]
+    fn focus_cache_matches_brute_force_over_seeded_trace() {
+        let mut cfg = PlatformConfig::vrchat();
+        cfg.forward_policy = ForwardPolicy::InterestManagement { focus: 8, background_hz: 1.0 };
+        let mut server = DataServer::new(node(0), &cfg, 11);
+        let n: u32 = 200;
+        for i in 0..n {
+            server.register(i, node(0), 40_000 + i as u16, SimTime::ZERO);
+        }
+        let mut rng = svr_netsim::SimRng::seed_from_u64(0xF0C5);
+        // Several epochs: move a random subset each round (including
+        // coincident positions so distance ties exercise the id
+        // tie-break), then compare every (receiver, sender) decision.
+        for round in 0..6 {
+            for i in 0..n {
+                if round == 0 || rng.chance(0.3) {
+                    // Snap to a coarse grid so exact distance ties occur.
+                    let x = rng.range_u64(0, 8) as f32;
+                    let z = rng.range_u64(0, 8) as f32;
+                    place(&mut server, i, Vec3::new(x, 0.0, z));
+                }
+            }
+            for focus in [0usize, 1, 8, 64, 199, 400] {
+                for recv in (0..n).step_by(17) {
+                    for sender in 0..n {
+                        if sender == recv {
+                            continue;
+                        }
+                        let expect = brute_force_in_focus(&server, recv, sender, focus);
+                        let got = server.in_focus(recv, sender, focus);
+                        assert_eq!(
+                            got, expect,
+                            "round {round} focus {focus} recv {recv} sender {sender}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn focus_cache_invalidates_on_roster_change() {
+        let mut cfg = PlatformConfig::vrchat();
+        cfg.forward_policy = ForwardPolicy::InterestManagement { focus: 1, background_hz: 1.0 };
+        let mut server = DataServer::new(node(0), &cfg, 12);
+        for i in 0..3u32 {
+            server.register(i, node(0), 40_000 + i as u16, SimTime::ZERO);
+        }
+        place(&mut server, 0, Vec3::ZERO);
+        place(&mut server, 1, Vec3::new(1.0, 0.0, 0.0));
+        place(&mut server, 2, Vec3::new(5.0, 0.0, 0.0));
+        // User 1 is 0's single focus neighbour; 2 is not.
+        assert!(server.in_focus(0, 1, 1));
+        assert!(!server.in_focus(0, 2, 1));
+        // Drop user 1: user 2 becomes the nearest without any position
+        // changing — the roster bump must invalidate the cached bound.
+        server.unregister(1);
+        assert!(server.in_focus(0, 2, 1));
+        // A join reshuffles again.
+        server.register(3, node(0), 40_003, SimTime::ZERO);
+        place(&mut server, 3, Vec3::new(0.5, 0.0, 0.0));
+        assert!(server.in_focus(0, 3, 1));
+        assert!(!server.in_focus(0, 2, 1));
+    }
+
+    #[test]
+    fn nan_position_does_not_panic_and_sorts_out_of_focus() {
+        let mut cfg = PlatformConfig::vrchat();
+        cfg.forward_policy = ForwardPolicy::InterestManagement { focus: 2, background_hz: 1.0 };
+        let snode = node(9);
+        let mut server = DataServer::new(snode, &cfg, 13);
+        for i in 0..4u32 {
+            server.register(i, node(i), 40_000 + i as u16, SimTime::ZERO);
+        }
+        place(&mut server, 0, Vec3::ZERO);
+        place(&mut server, 1, Vec3::new(1.0, 0.0, 0.0));
+        place(&mut server, 2, Vec3::new(2.0, 0.0, 0.0));
+        place(&mut server, 3, Vec3::new(f32::NAN, 0.0, 0.0));
+        // The original implementation panicked on `partial_cmp` here;
+        // with `total_cmp` the NaN-positioned user ranks last.
+        assert!(server.in_focus(0, 1, 2));
+        assert!(server.in_focus(0, 2, 2));
+        assert!(!server.in_focus(0, 3, 2));
+        // A NaN receiver must not panic either (all distances NaN).
+        for sender in [0u32, 1, 2] {
+            let _ = server.in_focus(3, sender, 2);
+        }
+        // The full forwarding path still runs.
+        let mut c1 = UdpChannel::new(1, 40_001, DATA_SERVER_PORT, SimTime::ZERO);
+        let body = avatar_body(&cfg, 1, Vec3::new(1.0, 0.0, 0.0), 0.0);
+        let pkt = udp_avatar_packet(&mut c1, SimTime::from_millis(5), &body, node(1), snode);
+        server.on_packet(SimTime::from_millis(5), &pkt);
+        server.on_tick(SimTime::from_secs(1));
     }
 
     #[test]

@@ -277,7 +277,14 @@ fn summarize_samples(slice: &[svr_client::MetricSample]) -> MonitorSummary {
         avg_cpu: avg(|s| s.cpu),
         avg_gpu: avg(|s| s.gpu),
         avg_memory_mb: avg(|s| s.memory_mb),
-        battery_used_pct: slice.first().unwrap().battery_pct - slice.last().unwrap().battery_pct,
+        // Max − min over the window, not first − last: samples are not
+        // guaranteed monotone (a charging headset, or a window cut
+        // across a battery reset) and drain can never be negative.
+        battery_used_pct: {
+            let max = slice.iter().map(|s| s.battery_pct).fold(f64::MIN, f64::max);
+            let min = slice.iter().map(|s| s.battery_pct).fold(f64::MAX, f64::min);
+            max - min
+        },
         samples: n,
     }
 }

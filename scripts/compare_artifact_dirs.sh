@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Compare two artifact directories for byte-identical determinism.
+#
+#   scripts/compare_artifact_dirs.sh DIR_A DIR_B
+#
+# The comparison is *bidirectional*: a JSON artifact present in one
+# directory but missing from the other is a failure, not a silent skip —
+# otherwise a worker-count-dependent bug that drops (or invents) a whole
+# artifact would sail through a one-sided `for f in A/*.json` loop.
+# `BENCH_*.json` telemetry files carry wall-clock rates and are excluded
+# by design (they are never byte-reproducible).
+
+set -euo pipefail
+
+if [[ $# -ne 2 ]]; then
+    echo "usage: $0 DIR_A DIR_B" >&2
+    exit 2
+fi
+dir_a="$1"
+dir_b="$2"
+[[ -d "$dir_a" ]] || { echo "compare_artifact_dirs: not a directory: $dir_a" >&2; exit 2; }
+[[ -d "$dir_b" ]] || { echo "compare_artifact_dirs: not a directory: $dir_b" >&2; exit 2; }
+
+# Comparable artifact names in one directory (sorted, telemetry excluded).
+list_artifacts() {
+    (cd "$1" && find . -maxdepth 1 -name '*.json' ! -name 'BENCH_*.json' -printf '%f\n' | sort)
+}
+
+names_a="$(list_artifacts "$dir_a")"
+names_b="$(list_artifacts "$dir_b")"
+
+if [[ "$names_a" != "$names_b" ]]; then
+    echo "compare_artifact_dirs: ARTIFACT SET MISMATCH between $dir_a and $dir_b" >&2
+    only_a="$(comm -23 <(echo "$names_a") <(echo "$names_b"))"
+    only_b="$(comm -13 <(echo "$names_a") <(echo "$names_b"))"
+    [[ -n "$only_a" ]] && echo "  only in $dir_a: $only_a" >&2
+    [[ -n "$only_b" ]] && echo "  only in $dir_b: $only_b" >&2
+    exit 1
+fi
+
+if [[ -z "$names_a" ]]; then
+    echo "compare_artifact_dirs: no comparable artifacts found in $dir_a" >&2
+    exit 1
+fi
+
+status=0
+while IFS= read -r name; do
+    if ! cmp -s "$dir_a/$name" "$dir_b/$name"; then
+        echo "compare_artifact_dirs: DETERMINISM FAILURE: $name differs" >&2
+        status=1
+    fi
+done <<< "$names_a"
+
+exit "$status"

@@ -36,15 +36,7 @@ trap 'rm -rf "$out_dir"' EXIT
 selection="table1,table2,vantage,fig3"
 ./target/release/examples/reproduce_all --only "$selection" --jobs 1 --out "$out_dir/j1" > /dev/null
 ./target/release/examples/reproduce_all --only "$selection" --jobs 8 --out "$out_dir/j8" > /dev/null
-for artifact in "$out_dir"/j1/*.json; do
-    name="$(basename "$artifact")"
-    # BENCH_harness.json carries wall times and is expected to differ.
-    [[ "$name" == "BENCH_harness.json" ]] && continue
-    if ! cmp -s "$artifact" "$out_dir/j8/$name"; then
-        echo "verify.sh: DETERMINISM FAILURE: $name differs between --jobs 1 and --jobs 8" >&2
-        exit 1
-    fi
-done
+scripts/compare_artifact_dirs.sh "$out_dir/j1" "$out_dir/j8"
 echo "    artifacts byte-identical across worker counts"
 
 echo "verify.sh: OK"
