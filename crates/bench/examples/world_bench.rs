@@ -1,0 +1,107 @@
+//! `world_bench` — the multi-room world sweep behind `BENCH_world.json`.
+//!
+//! Sweeps world grids from 64 rooms x 64 users up to 2048 rooms x 512
+//! users (1,048,576 concurrent users) across the four forwarding
+//! policies, measuring wall time, aggregated simulation events/sec and
+//! packets/sec per point through `svr_bench::worldscale`, and writes
+//! the result as a `BENCH_world.json` document via the harness
+//! telemetry path.
+//!
+//! ```sh
+//! cargo run --release -p svr-bench --example world_bench                # full sweep -> ./BENCH_world.json
+//! cargo run --release -p svr-bench --example world_bench -- --smoke    # tiny grids (CI-sized)
+//! cargo run --release -p svr-bench --example world_bench -- --out /tmp/B.json --seed 7 --jobs 4
+//! ```
+//!
+//! Like every `BENCH_*.json`, the document carries wall-clock rates and
+//! is **not** expected to be byte-reproducible; the determinism gate
+//! ignores it. The `fact_digest` column *is* reproducible — it is the
+//! same digest the world determinism tests pin across worker counts.
+
+use svr_bench::worldscale::{run_sweep, WorldPoint};
+use svr_harness::json::Json;
+use svr_harness::telemetry::git_rev;
+
+fn row(r: &WorldPoint) -> Json {
+    Json::obj()
+        .set("policy", r.policy)
+        .set("rooms", r.rooms)
+        .set("users", r.users)
+        .set("ticks", r.ticks)
+        .set("messages", r.messages)
+        .set("forwards", r.forwards)
+        .set("hops", r.hops)
+        .set("transfers", r.transfers)
+        .set("presence", r.presence)
+        .set("sim_events", r.sim_events)
+        .set("sim_packets", r.sim_packets)
+        .set("fact_digest", format!("{:016x}", r.fact_digest))
+        .set("wall_s", r.wall.as_secs_f64())
+        .set("events_per_sec", r.events_per_sec())
+        .set("packets_per_sec", r.packets_per_sec())
+}
+
+fn main() {
+    let mut out = String::from("BENCH_world.json");
+    let mut seed = 1u64;
+    let mut jobs = 1usize;
+    let mut full = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(path) => out = path,
+                None => return fail("--out needs a path"),
+            },
+            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => return fail("--seed needs an integer"),
+            },
+            "--jobs" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(j) => jobs = j,
+                None => return fail("--jobs needs an integer"),
+            },
+            "--smoke" => full = false,
+            "--help" | "-h" => {
+                println!("usage: world_bench [--out FILE] [--seed N] [--jobs N] [--smoke]");
+                return;
+            }
+            other => return fail(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let tier = if full { "full (up to 2048 rooms, 1M+ users)" } else { "smoke" };
+    eprintln!("world_bench: {tier} sweep over 4 policies (seed {seed}, jobs {jobs})");
+    let rows = run_sweep(seed, full, jobs);
+    for r in &rows {
+        eprintln!(
+            "  {:<13} {:>4} rooms {:>8} users  {:>7} msgs  {:>9} fwds  {:>5} hops  {:>11.0} events/s  {:>8.3}s",
+            r.policy,
+            r.rooms,
+            r.users,
+            r.messages,
+            r.forwards,
+            r.hops,
+            r.events_per_sec(),
+            r.wall.as_secs_f64(),
+        );
+    }
+
+    let doc = Json::obj()
+        .set("bench", "svr-world scaling")
+        .set("artefact", "multi-room world sweep (rooms x users per forwarding policy)")
+        .set("seed", seed)
+        .set("jobs", jobs)
+        .set("tier", if full { "full" } else { "smoke" })
+        .set("git_rev", git_rev().map(Json::Str).unwrap_or(Json::Null))
+        .set("rows", Json::Arr(rows.iter().map(row).collect()));
+    if let Err(e) = std::fs::write(&out, doc.pretty()) {
+        return fail(&format!("cannot write {out}: {e}"));
+    }
+    eprintln!("world_bench: wrote {out}");
+}
+
+fn fail(msg: &str) {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}

@@ -12,6 +12,7 @@
 //! the same bench sources onto real criterion unchanged.
 
 pub mod scalability;
+pub mod worldscale;
 
 /// Print a report exactly once per process (the timing loop calls the
 /// closure many times; the rows only need to appear once).

@@ -1,0 +1,175 @@
+//! Multi-room world scaling sweep over the forwarding policies.
+//!
+//! The single-room sweep (`scalability`) stops where one room stops —
+//! 512 users on one server. Platforms run *worlds*: thousands of rooms
+//! with users hopping between them. This module drives [`svr_world`]
+//! grids from a few hundred users up to 1M+ users across 2k+ room
+//! shards, per forwarding policy, and records wall time plus the
+//! simulation counters aggregated across every shard — the perf
+//! trajectory written to `BENCH_world.json`.
+//!
+//! The world runs themselves are deterministic (the ordered commit
+//! makes reports identical at any `jobs`); the wall-clock rates are, by
+//! nature, not reproducible, so `BENCH_world.json` stays outside the
+//! determinism gate like every `BENCH_*.json`.
+
+use std::time::{Duration, Instant};
+
+use svr_world::{policies, World, WorldConfig};
+
+/// One measured (policy, grid) point.
+#[derive(Debug, Clone)]
+pub struct WorldPoint {
+    /// Policy label (`direct`, `viewport`, `interest`, `remote_render`).
+    pub policy: &'static str,
+    /// Room shards.
+    pub rooms: usize,
+    /// Total users across the world.
+    pub users: usize,
+    /// Commit windows run.
+    pub ticks: u64,
+    /// Avatar messages injected.
+    pub messages: u64,
+    /// Messages the shard servers fanned out.
+    pub forwards: u64,
+    /// Portal hops committed.
+    pub hops: u64,
+    /// World transfers committed.
+    pub transfers: u64,
+    /// Presence facts committed.
+    pub presence: u64,
+    /// Discrete network events across all shards.
+    pub sim_events: u64,
+    /// Packets delivered across all shards.
+    pub sim_packets: u64,
+    /// Committed fact-stream digest (determinism fingerprint).
+    pub fact_digest: u64,
+    /// Wall-clock time for the point (construction + run).
+    pub wall: Duration,
+}
+
+impl WorldPoint {
+    fn per_sec(&self, count: u64) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s > 0.0 {
+            count as f64 / s
+        } else {
+            0.0
+        }
+    }
+
+    /// Simulation events processed per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.per_sec(self.sim_events)
+    }
+
+    /// Packets delivered per wall-clock second.
+    pub fn packets_per_sec(&self) -> f64 {
+        self.per_sec(self.sim_packets)
+    }
+}
+
+/// The sweep grids: `(rooms, users_per_room, ticks)`.
+///
+/// The full tier tops out at 2048 rooms x 512 users = 1,048,576
+/// concurrent users; the smoke tier keeps `cargo test` fast.
+pub fn grid(full: bool) -> Vec<(usize, usize, u64)> {
+    if full {
+        vec![(64, 64, 6), (256, 128, 4), (2048, 512, 2)]
+    } else {
+        vec![(4, 8, 3), (8, 16, 2)]
+    }
+}
+
+/// Build the world configuration for one sweep point.
+pub fn point_config(
+    policy: svr_platform::ForwardPolicy,
+    rooms: usize,
+    users_per_room: usize,
+    ticks: u64,
+    seed: u64,
+    jobs: usize,
+) -> WorldConfig {
+    let mut cfg = WorldConfig::small(seed);
+    cfg.rooms = rooms;
+    cfg.users_per_room = users_per_room;
+    cfg.worlds = 4.min(rooms);
+    cfg.policy = policy;
+    cfg.ticks = ticks;
+    cfg.jobs = jobs;
+    // Big grids sample fewer senders per room so total injected load
+    // grows with the room count, not with rooms x users.
+    cfg.senders_per_room = if rooms * users_per_room >= 100_000 { 1 } else { 2 };
+    cfg.validated()
+}
+
+/// Run one (policy, grid) point and measure it.
+pub fn run_point(
+    policy: svr_platform::ForwardPolicy,
+    label: &'static str,
+    rooms: usize,
+    users_per_room: usize,
+    ticks: u64,
+    seed: u64,
+    jobs: usize,
+) -> WorldPoint {
+    let started = Instant::now();
+    let cfg = point_config(policy, rooms, users_per_room, ticks, seed, jobs);
+    let rep = World::run(cfg);
+    WorldPoint {
+        policy: label,
+        rooms,
+        users: rep.users(),
+        ticks: rep.ticks,
+        messages: rep.stats.messages,
+        forwards: rep.forwards,
+        hops: rep.stats.hops,
+        transfers: rep.stats.transfers,
+        presence: rep.stats.presence_sent,
+        sim_events: rep.stats.sim_events,
+        sim_packets: rep.stats.sim_packets,
+        fact_digest: rep.stats.fact_digest,
+        wall: started.elapsed(),
+    }
+}
+
+/// Run the sweep: every policy x every grid point.
+pub fn run_sweep(seed: u64, full: bool, jobs: usize) -> Vec<WorldPoint> {
+    let mut rows = Vec::new();
+    for (label, policy) in policies() {
+        for &(rooms, users_per_room, ticks) in grid(full).iter() {
+            rows.push(run_point(policy, label, rooms, users_per_room, ticks, seed, jobs));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svr_platform::ForwardPolicy;
+
+    /// Smoke tier: the whole smoke sweep runs inside `cargo test`.
+    #[test]
+    fn smoke_sweep_produces_rows_for_every_policy() {
+        let rows = run_sweep(7, false, 1);
+        assert_eq!(rows.len(), policies().len() * grid(false).len());
+        for r in &rows {
+            assert!(r.users > 0 && r.rooms > 0);
+            assert!(r.messages > 0, "{}: no traffic", r.policy);
+            assert!(r.sim_events > 0, "{}: no events", r.policy);
+            assert!(r.hops > 0, "{}: no cross-shard hops", r.policy);
+        }
+    }
+
+    /// The measured run is the same world the determinism tests pin:
+    /// identical seeds produce identical digests at any job count.
+    #[test]
+    fn point_digest_is_stable_across_jobs() {
+        let a = run_point(ForwardPolicy::Direct, "direct", 4, 8, 2, 11, 1);
+        let b = run_point(ForwardPolicy::Direct, "direct", 4, 8, 2, 11, 3);
+        assert_eq!(a.fact_digest, b.fact_digest);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.sim_events, b.sim_events);
+    }
+}

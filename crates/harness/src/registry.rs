@@ -131,6 +131,12 @@ pub fn all() -> Vec<Experiment> {
             header: None,
             build_units: units_takeaways,
         },
+        Experiment {
+            name: "world",
+            artefact: "sharded multi-room world: cross-shard hops/transfers/presence per policy",
+            header: Some("world: sharded multi-room runs (one row per forwarding policy)"),
+            build_units: units_world,
+        },
     ]
 }
 
@@ -801,6 +807,54 @@ fn units_ablations(ctx: &RunCtx) -> Vec<WorkUnit> {
             }
         }),
     ]
+}
+
+// ---------------------------------------------------------------------
+// Sharded world (svr-world)
+// ---------------------------------------------------------------------
+
+fn units_world(ctx: &RunCtx) -> Vec<WorkUnit> {
+    // One unit per forwarding policy. Each unit runs its world on a
+    // fixed *internal* shard pool (`jobs = 2` inside the unit, set by
+    // the presets), independent of the harness `--jobs` — the ordered
+    // commit makes the report identical either way, which is exactly
+    // what the determinism gate checks.
+    let seed = ctx.reseed(0x0057_4F52_4C44);
+    let full = ctx.full();
+    svr_world::policies()
+        .into_iter()
+        .map(|(label, policy)| {
+            WorkUnit::new(format!("world/{label}"), move || {
+                let cfg = if full {
+                    svr_world::WorldConfig::full(seed, policy)
+                } else {
+                    svr_world::WorldConfig::quick(seed, policy)
+                };
+                let ticks = cfg.ticks;
+                let rep = svr_world::World::run(cfg);
+                UnitResult {
+                    json: Json::obj()
+                        .set("policy", rep.policy)
+                        .set("rooms", rep.rooms)
+                        .set("users_per_room", rep.users_per_room)
+                        .set("worlds", rep.worlds)
+                        .set("ticks", rep.ticks)
+                        .set("messages", rep.stats.messages)
+                        .set("forwards", rep.forwards)
+                        .set("hops", rep.stats.hops)
+                        .set("transfers", rep.stats.transfers)
+                        .set("presence_sent", rep.stats.presence_sent)
+                        .set("presence_delivered", rep.stats.presence_delivered)
+                        .set("presence_dropped", rep.stats.presence_dropped)
+                        .set("client_rx", rep.client_rx)
+                        .set("per_tick_facts", arr(rep.per_tick_facts.iter().copied()))
+                        .set("fact_digest", format!("{:016x}", rep.stats.fact_digest)),
+                    display: format!("{rep}"),
+                    trials: ticks,
+                }
+            })
+        })
+        .collect()
 }
 
 fn units_takeaways(_ctx: &RunCtx) -> Vec<WorkUnit> {

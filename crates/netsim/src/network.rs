@@ -14,7 +14,7 @@ use crate::packet::Packet;
 use crate::rng::SimRng;
 use crate::time::SimTime;
 use crate::wheel::TimerWheel;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// A packet handed to its destination node.
 #[derive(Debug, Clone)]
@@ -53,6 +53,10 @@ pub struct Network {
     rng: SimRng,
     taps: HashMap<NodeId, CaptureTap>,
     pending: VecDeque<Delivery>,
+    /// Shard-boundary nodes: deliveries addressed to them leave this
+    /// network through [`Network::drain_egress`] instead of `poll`.
+    boundary: HashSet<NodeId>,
+    egress: VecDeque<Delivery>,
 }
 
 impl Network {
@@ -70,6 +74,8 @@ impl Network {
             rng: SimRng::seed_from_u64(seed ^ 0x6E65_7473_696D), // "netsim"
             taps: HashMap::new(),
             pending: VecDeque::new(),
+            boundary: HashSet::new(),
+            egress: VecDeque::new(),
         }
     }
 
@@ -133,6 +139,27 @@ impl Network {
             .iter()
             .copied()
             .find(|l| self.links[l.index()].dst == b)
+    }
+
+    /// Mark `node` as a shard boundary (idempotent).
+    ///
+    /// A boundary node models the edge of this network's shard: packets
+    /// *addressed to it* are not handed to `poll`/`poll_all` but parked on
+    /// a separate egress queue, in arrival `(time, seq)` order, until the
+    /// owning layer collects them with [`Network::drain_egress`] and
+    /// forwards their contents across the shard boundary.
+    pub fn set_boundary(&mut self, node: NodeId) {
+        self.boundary.insert(node);
+    }
+
+    /// Whether `node` is a shard boundary.
+    pub fn is_boundary(&self, node: NodeId) -> bool {
+        self.boundary.contains(&node)
+    }
+
+    /// Drain packets that arrived at boundary nodes, in arrival order.
+    pub fn drain_egress(&mut self) -> Vec<Delivery> {
+        self.egress.drain(..).collect()
     }
 
     /// Install a capture tap on `node` (idempotent).
@@ -297,7 +324,12 @@ impl Network {
         }
         if node == packet.dst {
             crate::counters::count_delivery();
-            self.pending.push_back(Delivery { at: self.now, dst: node, packet });
+            let d = Delivery { at: self.now, dst: node, packet };
+            if !self.boundary.is_empty() && self.boundary.contains(&node) {
+                self.egress.push_back(d);
+            } else {
+                self.pending.push_back(d);
+            }
         } else {
             let dst = packet.dst;
             let hop = self.next_hop(node, dst);
@@ -666,6 +698,32 @@ mod tests {
             times
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn boundary_node_diverts_deliveries_to_egress() {
+        let mut net = Network::new(1);
+        let a = net.add_node("a", NodeKind::Headset);
+        let s = net.add_node("server", NodeKind::Server);
+        let gw = net.add_node("gateway", NodeKind::Server);
+        net.add_duplex_link(a, s, LinkSpec::wifi(), LinkSpec::wifi());
+        net.add_duplex_link(s, gw, LinkSpec::campus(), LinkSpec::campus());
+        net.set_boundary(gw);
+        assert!(net.is_boundary(gw) && !net.is_boundary(s));
+        // One packet to the in-shard server, two across the boundary.
+        net.send(a, s, udp_pkt(100));
+        net.send(a, gw, udp_pkt(200));
+        net.send(a, gw, udp_pkt(300));
+        let local = net.poll_all(SimTime::from_secs(1));
+        assert_eq!(local.len(), 1, "only the in-shard delivery is polled");
+        assert_eq!(local[0].dst, s);
+        let egress = net.drain_egress();
+        assert_eq!(egress.len(), 2);
+        assert_eq!(egress[0].dst, gw);
+        assert!(egress[0].at <= egress[1].at, "egress keeps arrival order");
+        assert_eq!(egress[0].packet.payload.len(), 200);
+        assert_eq!(egress[1].packet.payload.len(), 300);
+        assert!(net.drain_egress().is_empty(), "drain empties the queue");
     }
 
     #[test]

@@ -301,6 +301,72 @@ impl ClientApp {
         id
     }
 
+    /// The client's earliest deadline: the first instant at which
+    /// [`ClientApp::on_tick`] could do anything. Conservative — it may
+    /// be earlier than the next actual emission (a spurious wake is a
+    /// no-op, since every firing branch re-checks its own clock), but
+    /// never later, so a driver may skip ticks until this time without
+    /// changing behaviour. `None` means no timer is armed at all.
+    pub fn next_timer(&self, now: SimTime) -> Option<SimTime> {
+        let mut due: Option<SimTime> = None;
+        let mut add = |t: SimTime| due = Some(due.map_or(t, |d: SimTime| d.min(t)));
+        if let Some(t) = self.control.next_timer() {
+            add(t);
+        }
+        if self.phase == Phase::WelcomePage && self.menus_remaining > 0 {
+            add(self.next_menu);
+        }
+        if self.cfg.report_interval.is_some()
+            && self.phase != Phase::Connecting
+            && !self.report_outstanding
+        {
+            add(self.next_report);
+        }
+        if self.phase == Phase::SocialEvent {
+            // Worlds' gating re-checks TCP ack progress every tick while
+            // active, and the channel-death event fires on the tick after
+            // the kill: both need an immediate wake.
+            if self.cfg.tcp_priority && self.gated_since.is_some() {
+                add(now);
+            }
+            match &self.data {
+                DataChannel::NotOpen => {}
+                DataChannel::Udp(c) => {
+                    if let Some(t) = c.next_timer() {
+                        add(t);
+                    }
+                    if c.is_dead() && !self.frozen_reported {
+                        add(now);
+                    }
+                }
+                DataChannel::Stream(s) => {
+                    if let Some(t) = s.next_timer() {
+                        add(t);
+                    }
+                }
+            }
+            if !self.is_frozen() {
+                if let Some((_, _, send_at)) = self.pending_action {
+                    add(send_at);
+                }
+                add(self.next_avatar);
+                if !self.muted && self.cfg.voice_frame_hz > 0.0 {
+                    add(self.next_voice);
+                }
+                if self.cfg.status_rate_hz > 0.0 {
+                    add(self.next_status);
+                }
+                if self.cfg.telemetry_rate_hz > 0.0 {
+                    add(self.next_telemetry);
+                }
+                if let Some(g) = &self.game {
+                    add(g.next_timer());
+                }
+            }
+        }
+        due
+    }
+
     // --- internals ---
 
     fn avatar_body(&mut self, dt: f64) -> Vec<u8> {

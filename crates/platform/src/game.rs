@@ -55,6 +55,11 @@ impl GameClient {
         Some(body)
     }
 
+    /// When the next game-state payload is due.
+    pub fn next_timer(&self) -> SimTime {
+        self.next_tick
+    }
+
     /// Apply a clock sync from the control channel.
     pub fn apply_sync(&mut self, now: SimTime, round_ends_at: SimTime) {
         self.last_sync = Some(now);

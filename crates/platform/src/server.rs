@@ -12,7 +12,7 @@ use crate::config::{DataTransport, PlatformConfig};
 use crate::stream::{StreamChannel, StreamEvent};
 use svr_netsim::buf::Bytes;
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use svr_avatar::motion::in_viewport;
 use svr_avatar::skeleton::Vec3;
 use svr_netsim::{Bitrate, NodeId, Packet, SimDuration, SimRng, SimTime};
@@ -129,6 +129,8 @@ impl FocusCache {
 
 struct UserEntry {
     node: NodeId,
+    /// The client's data-channel source port (key of the address index).
+    client_port: u16,
     chan: ServerChannel,
     position: Vec3,
     heading_deg: f32,
@@ -141,6 +143,19 @@ struct UserEntry {
     background_next: Vec<(u32, SimTime)>,
     /// Cached k-NN boundary for this receiver's focus set.
     focus_cache: FocusCache,
+}
+
+/// The transferable state of a user crossing a shard boundary (portal
+/// hop / world transfer): everything the destination [`DataServer`]
+/// needs to continue the session without a fresh spawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UserProfile {
+    /// The user's id.
+    pub user_id: u32,
+    /// Last known avatar root position.
+    pub position: Vec3,
+    /// Last known heading, degrees.
+    pub heading_deg: f32,
 }
 
 /// Counters exposed to the experiments.
@@ -194,6 +209,10 @@ pub struct DataServer {
     server_status_bytes: usize,
     transport: DataTransport,
     users: BTreeMap<u32, UserEntry>,
+    /// `(source node, source port) → user`: O(1) packet-to-user lookup
+    /// instead of a roster scan. Stream platforms get a second entry per
+    /// user for the RTP voice port.
+    addr_index: HashMap<(NodeId, u16), u32>,
     pending: BinaryHeap<Reverse<PendingForward>>,
     seq: u64,
     rng: SimRng,
@@ -222,6 +241,7 @@ impl DataServer {
             server_status_bytes: cfg.server_status_bytes,
             transport: cfg.data_transport,
             users: BTreeMap::new(),
+            addr_index: HashMap::new(),
             pending: BinaryHeap::new(),
             seq: 0,
             rng: SimRng::seed_from_u64(seed ^ 0x5345_5256),
@@ -248,10 +268,18 @@ impl DataServer {
                 client_port,
             ))),
         };
+        // Re-registration replaces the old connection (and its index
+        // entries) rather than leaking them.
+        self.remove_user(user_id);
+        self.addr_index.insert((node, client_port), user_id);
+        if self.transport == DataTransport::TlsStream {
+            self.addr_index.insert((node, voice_port(user_id)), user_id);
+        }
         self.users.insert(
             user_id,
             UserEntry {
                 node,
+                client_port,
                 chan,
                 position: Vec3::ZERO,
                 heading_deg: 0.0,
@@ -265,16 +293,68 @@ impl DataServer {
         self.pos_epoch += 1;
     }
 
+    /// Drop a user from the roster and the address index; bumps the
+    /// position epoch when the user existed.
+    fn remove_user(&mut self, user_id: u32) -> Option<UserEntry> {
+        let entry = self.users.remove(&user_id)?;
+        self.addr_index.remove(&(entry.node, entry.client_port));
+        if self.transport == DataTransport::TlsStream {
+            self.addr_index.remove(&(entry.node, voice_port(user_id)));
+        }
+        self.pos_epoch += 1;
+        Some(entry)
+    }
+
     /// Remove a user (left the event).
     pub fn unregister(&mut self, user_id: u32) {
-        if self.users.remove(&user_id).is_some() {
-            self.pos_epoch += 1;
-        }
+        self.remove_user(user_id);
     }
 
     /// Connected user count.
     pub fn user_count(&self) -> usize {
         self.users.len()
+    }
+
+    /// Iterate over connected user ids, in ascending order.
+    pub fn user_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.users.keys().copied()
+    }
+
+    /// Whether `user_id` is currently connected.
+    pub fn contains_user(&self, user_id: u32) -> bool {
+        self.users.contains_key(&user_id)
+    }
+
+    /// The configured forwarding policy.
+    pub fn policy(&self) -> ForwardPolicy {
+        self.policy
+    }
+
+    /// Detach a user for a cross-shard hop: remove it from this server
+    /// and hand back the state the destination shard needs to continue
+    /// the session seamlessly. Returns `None` for unknown users.
+    pub fn extract_user(&mut self, user_id: u32) -> Option<UserProfile> {
+        let entry = self.remove_user(user_id)?;
+        Some(UserProfile {
+            user_id,
+            position: entry.position,
+            heading_deg: entry.heading_deg,
+        })
+    }
+
+    /// Admit a hopped-in user: register it on this server's transport and
+    /// restore the avatar state carried in its [`UserProfile`].
+    pub fn admit_user(
+        &mut self,
+        profile: &UserProfile,
+        node: NodeId,
+        client_port: u16,
+        now: SimTime,
+    ) {
+        self.register(profile.user_id, node, client_port, now);
+        let entry = self.users.get_mut(&profile.user_id).expect("just registered");
+        entry.position = profile.position;
+        entry.heading_deg = profile.heading_deg;
     }
 
     /// The server's modelled processing latency at the current load:
@@ -456,10 +536,10 @@ impl DataServer {
             && pkt.header.dst_port == VOICE_SERVER_PORT
         {
             let from = self
-                .users
-                .iter()
-                .find(|(id, u)| u.node == pkt.src && voice_port(**id) == pkt.header.src_port)
-                .map(|(id, _)| *id);
+                .addr_index
+                .get(&(pkt.src, pkt.header.src_port))
+                .copied()
+                .filter(|id| voice_port(*id) == pkt.header.src_port);
             if let Some(from_user) = from {
                 if let Some(u) = self.users.get_mut(&from_user) {
                     u.last_data = now;
@@ -477,17 +557,15 @@ impl DataServer {
             }
             return out;
         }
-        // Find the owning user by source node + port.
-        let owner = self.users.iter().find_map(|(id, u)| {
-            if u.node != pkt.src {
-                return None;
-            }
-            match &u.chan {
-                ServerChannel::Udp(c) => (pkt.header.src_port == c.remote_port()).then_some(*id),
-                ServerChannel::Stream(_) => (pkt.header.proto == svr_netsim::Proto::Tcp).then_some(*id),
-            }
-        });
-        let Some(user_id) = owner else { return out };
+        // Find the owning user by source node + port: one index probe
+        // instead of a roster scan (both transports connect from the
+        // client's data port).
+        let owner = self.addr_index.get(&(pkt.src, pkt.header.src_port)).copied();
+        let Some(user_id) = owner.filter(|id| {
+            self.users[id].client_port == pkt.header.src_port
+        }) else {
+            return out;
+        };
         let node = self.users[&user_id].node;
 
         let mut msgs: Vec<(MsgKind, Bytes)> = Vec::new();
@@ -555,9 +633,7 @@ impl DataServer {
             .map(|(id, _)| *id)
             .collect();
         for id in stale {
-            if self.users.remove(&id).is_some() {
-                self.pos_epoch += 1;
-            }
+            self.remove_user(id);
         }
 
         // Due forwards.
@@ -926,6 +1002,51 @@ mod tests {
         let pkt = udp_avatar_packet(&mut c1, SimTime::from_millis(5), &body, node(1), snode);
         server.on_packet(SimTime::from_millis(5), &pkt);
         server.on_tick(SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn addr_index_distinguishes_users_behind_one_node() {
+        // Many users behind a single client node (the sharded-world
+        // topology): only the source port tells them apart.
+        let cfg = PlatformConfig::vrchat();
+        let snode = node(9);
+        let shared = node(3);
+        let mut server = DataServer::new(snode, &cfg, 21);
+        for i in 0..4u32 {
+            server.register(i, shared, 40_000 + i as u16, SimTime::ZERO);
+        }
+        let mut c2 = UdpChannel::new(2, 40_002, DATA_SERVER_PORT, SimTime::ZERO);
+        let body = avatar_body(&cfg, 2, Vec3::new(1.0, 0.0, 2.0), 0.0);
+        let pkt = udp_avatar_packet(&mut c2, SimTime::from_millis(5), &body, shared, snode);
+        server.on_packet(SimTime::from_millis(5), &pkt);
+        server.on_tick(SimTime::from_secs(1));
+        assert_eq!(server.stats.forwards, 3, "attributed to user 2, fanned to the other 3");
+        // After unregistering, the same packet is ignored.
+        server.unregister(2);
+        let before = server.stats.forwards;
+        let pkt = udp_avatar_packet(&mut c2, SimTime::from_secs(2), &body, shared, snode);
+        server.on_packet(SimTime::from_secs(2), &pkt);
+        server.on_tick(SimTime::from_secs(3));
+        assert_eq!(server.stats.forwards, before, "stale index entry removed");
+    }
+
+    #[test]
+    fn extract_then_admit_preserves_avatar_state() {
+        let cfg = PlatformConfig::vrchat();
+        let mut src = DataServer::new(node(8), &cfg, 22);
+        let mut dst = DataServer::new(node(9), &cfg, 23);
+        src.register(7, node(1), 40_007, SimTime::ZERO);
+        place(&mut src, 7, Vec3::new(3.0, 0.0, -2.0));
+        let profile = src.extract_user(7).expect("user present");
+        assert_eq!(src.user_count(), 0);
+        assert!(!src.contains_user(7));
+        assert_eq!(profile.position, Vec3::new(3.0, 0.0, -2.0));
+        dst.admit_user(&profile, node(2), 40_007, SimTime::from_secs(1));
+        assert!(dst.contains_user(7));
+        assert_eq!(dst.user_count(), 1);
+        assert_eq!(dst.users[&7].position, Vec3::new(3.0, 0.0, -2.0));
+        // Unknown users extract to None.
+        assert!(src.extract_user(99).is_none());
     }
 
     #[test]

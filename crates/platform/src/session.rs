@@ -13,6 +13,8 @@
 use crate::client_app::{ClientApp, ClientEvent};
 use crate::config::PlatformConfig;
 use crate::server::{DataServer, ServerStats};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use svr_avatar::skeleton::Vec3;
 use svr_client::{Monitor, MonitorSummary, RenderLoad, RenderModel, ResourceModel};
 use svr_geo::Site;
@@ -180,6 +182,10 @@ pub struct SessionConfig {
     pub capture_all: bool,
     /// Driver step.
     pub dt: SimDuration,
+    /// Reference mode: tick every client every step instead of using the
+    /// earliest-deadline queue. Produces identical results; kept as the
+    /// oracle the equivalence test compares against.
+    pub poll_all_clients: bool,
 }
 
 impl SessionConfig {
@@ -208,6 +214,7 @@ impl SessionConfig {
             netem_tcp_uplink: None,
             capture_all: false,
             dt: SimDuration::from_millis(2),
+            poll_all_clients: false,
         }
     }
 }
@@ -351,6 +358,14 @@ struct Session {
     rng: SimRng,
     platform: PlatformConfig,
     next_sample: SimTime,
+    poll_all_clients: bool,
+    /// Earliest-deadline queue over per-user timers: idle clients are
+    /// skipped instead of ticked every step. `user_due` holds the
+    /// currently-armed deadline; heap entries that disagree with it are
+    /// stale and ignored (lazy invalidation).
+    timer_heap: BinaryHeap<Reverse<(SimTime, usize)>>,
+    user_due: Vec<SimTime>,
+    due_scratch: Vec<usize>,
 }
 
 impl Session {
@@ -462,6 +477,7 @@ impl Session {
         let mut behaviors = cfg.behaviors.clone();
         behaviors.sort_by_key(|b| b.at());
 
+        let n = users.len();
         Session {
             net,
             users,
@@ -477,6 +493,34 @@ impl Session {
             rng,
             platform: cfg.platform.clone(),
             next_sample: SimTime::from_secs(1),
+            poll_all_clients: cfg.poll_all_clients,
+            timer_heap: BinaryHeap::with_capacity(n),
+            user_due: vec![SimTime::ZERO; n],
+            due_scratch: Vec::with_capacity(n),
+        }
+    }
+
+    /// (Re)arm user `idx`'s deadline from its component timers, no
+    /// earlier than `floor`. Reference-mode sessions skip the bookkeeping
+    /// entirely.
+    fn arm(&mut self, idx: usize, now: SimTime, floor: SimTime) {
+        if self.poll_all_clients {
+            return;
+        }
+        let u = &self.users[idx];
+        let app = u.app.next_timer(now);
+        let ctl = u.control_server.next_timer();
+        let due = match (app, ctl) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            // Nothing armed: never wake spontaneously (packets re-arm).
+            (None, None) => SimTime::MAX,
+        }
+        .max(floor);
+        self.user_due[idx] = due;
+        if due < SimTime::MAX {
+            self.timer_heap.push(Reverse((due, idx)));
         }
     }
 
@@ -496,6 +540,19 @@ impl Session {
         {
             let b = self.behaviors[self.next_behavior];
             self.next_behavior += 1;
+            // A behaviour can arm new client timers (join, game start,
+            // unmute, actions): re-arm the touched users afterwards.
+            let touched: Option<usize> = match b {
+                Behavior::StartGame { .. } => None, // touches everyone
+                Behavior::Join { user, .. }
+                | Behavior::Turn { user, .. }
+                | Behavior::SetHeading { user, .. }
+                | Behavior::WalkTo { user, .. }
+                | Behavior::Wander { user, .. }
+                | Behavior::Chat { user, .. }
+                | Behavior::Action { user, .. }
+                | Behavior::Unmute { user, .. } => Some(user),
+            };
             match b {
                 Behavior::Join { user, .. } => {
                     let joined = {
@@ -544,6 +601,14 @@ impl Session {
                 }
                 Behavior::Unmute { user, .. } => {
                     self.users[user].app.muted = false;
+                }
+            }
+            match touched {
+                Some(user) => self.arm(user, now, now),
+                None => {
+                    for idx in 0..self.users.len() {
+                        self.arm(idx, now, now);
+                    }
                 }
             }
         }
@@ -619,6 +684,7 @@ impl Session {
                 for p in out {
                     self.net.send(self.control_server_node, node, p);
                 }
+                self.arm(idx, now, now);
             }
             return;
         }
@@ -634,6 +700,7 @@ impl Session {
                 self.net.send(node, d, p);
             }
             self.handle_client_events(idx, now, events);
+            self.arm(idx, now, now);
         }
     }
 
@@ -684,7 +751,7 @@ impl Session {
     }
 
     fn run(mut self) -> SessionResult {
-        // Launch every app at t=0.
+        // Launch every app at t=0, then arm its first deadline.
         for idx in 0..self.users.len() {
             let now = SimTime::ZERO;
             let out = self.users[idx].app.launch(now);
@@ -692,6 +759,7 @@ impl Session {
             for (d, p) in out {
                 self.net.send(node, d, p);
             }
+            self.arm(idx, now, now);
         }
 
         let mut t = SimTime::ZERO;
@@ -706,8 +774,28 @@ impl Session {
                 self.dispatch_delivery(t, d);
             }
 
-            // Component timers.
-            for idx in 0..self.users.len() {
+            // Component timers: only users whose earliest deadline has
+            // arrived are ticked (every user, in reference mode). Ties
+            // and early deadlines collapse onto this step's grid point,
+            // in user order — exactly the schedule full polling runs.
+            let mut due_users = std::mem::take(&mut self.due_scratch);
+            due_users.clear();
+            if self.poll_all_clients {
+                due_users.extend(0..self.users.len());
+            } else {
+                while let Some(&Reverse((due, idx))) = self.timer_heap.peek() {
+                    if due > t {
+                        break;
+                    }
+                    self.timer_heap.pop();
+                    if self.user_due[idx] == due {
+                        due_users.push(idx);
+                    } // else: stale entry, superseded by a re-arm
+                }
+                due_users.sort_unstable();
+                due_users.dedup();
+            }
+            for &idx in &due_users {
                 let (out, events) = self.users[idx].app.on_tick(t);
                 let node = self.users[idx].node;
                 for (d, p) in out {
@@ -720,7 +808,10 @@ impl Session {
                 for p in pkts {
                     self.net.send(self.control_server_node, node, p);
                 }
+                // Past this step: the next wake is at least one step out.
+                self.arm(idx, t, t + self.dt);
             }
+            self.due_scratch = due_users;
             for (node, p) in self.server.on_tick(t) {
                 self.net.send(self.data_server_node, node, p);
             }
@@ -853,6 +944,42 @@ mod tests {
         assert!(late.samples > 0);
         assert!(late.avg_fps > 30.0 && late.avg_fps <= 72.0);
         assert!(late.avg_cpu > 50.0);
+    }
+
+    #[test]
+    fn edf_timer_queue_matches_full_polling() {
+        // The earliest-deadline queue must be invisible: skipping idle
+        // clients may not change a single packet. Compare against the
+        // poll-every-client reference on platforms covering UDP, TLS
+        // stream, TCP-priority gating, games, and voice.
+        for (platform, secs, seed) in [
+            (PlatformConfig::vrchat(), 25u64, 7u64),
+            (PlatformConfig::hubs(), 20, 8),
+            (PlatformConfig::worlds(), 20, 9),
+        ] {
+            let mut cfg = SessionConfig::walk_and_chat(platform, 3, SimDuration::from_secs(secs), seed);
+            cfg.behaviors.push(Behavior::StartGame { at: SimTime::from_secs(10) });
+            cfg.behaviors.push(Behavior::Unmute { user: 1, at: SimTime::from_secs(8) });
+            cfg.behaviors.push(Behavior::Action { user: 0, at: SimTime::from_secs(12) });
+            let edf = run_session(&cfg);
+            let mut ref_cfg = cfg.clone();
+            ref_cfg.poll_all_clients = true;
+            let reference = run_session(&ref_cfg);
+            assert_eq!(edf.server_stats, reference.server_stats);
+            assert_eq!(edf.actions.len(), reference.actions.len());
+            for (a, b) in edf.actions.iter().zip(&reference.actions) {
+                assert_eq!((a.performed_at, a.sent_at, a.arrived_at), (b.performed_at, b.sent_at, b.arrived_at));
+            }
+            for (u, v) in edf.users.iter().zip(&reference.users) {
+                assert_eq!(u.avatar_updates_received, v.avatar_updates_received);
+                assert_eq!(u.ap_records.len(), v.ap_records.len());
+                for (x, y) in u.ap_records.iter().zip(&v.ap_records) {
+                    assert_eq!((x.ts, x.wire_bytes, x.payload_len), (y.ts, y.wire_bytes, y.payload_len));
+                }
+                assert_eq!(u.frozen_at, v.frozen_at);
+                assert_eq!(u.video_bytes, v.video_bytes);
+            }
+        }
     }
 
     #[test]

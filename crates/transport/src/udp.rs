@@ -249,6 +249,24 @@ impl UdpChannel {
         None
     }
 
+    /// Earliest future time at which [`UdpChannel::on_tick`] could act:
+    /// the keep-alive due time or the liveness-timeout expiry, whichever
+    /// comes first. `None` when the channel is dead or has no timers, so
+    /// a driver may skip ticking it entirely.
+    pub fn next_timer(&self) -> Option<SimTime> {
+        if self.dead {
+            return None;
+        }
+        let ka = self.keepalive_every.map(|every| self.last_tx + every);
+        let to = self
+            .timeout
+            .map(|timeout| self.last_rx.max(self.opened_at) + timeout);
+        match (ka, to) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
     /// One-way delay of a message, derived from its embedded timestamp.
     /// Only meaningful when both endpoints share a clock domain (true in
     /// the simulator; the paper needed §7's clock sync to get this).
@@ -348,6 +366,29 @@ mod tests {
         ch.send(MsgKind::Avatar, SimTime::from_secs(6), &[]).unwrap();
         assert!(ch.on_tick(SimTime::from_secs(10)).is_none());
         assert!(ch.on_tick(SimTime::from_secs(11)).is_some());
+    }
+
+    #[test]
+    fn next_timer_tracks_keepalive_and_timeout() {
+        let now = SimTime::ZERO;
+        let plain = UdpChannel::new(1, 1, 2, now);
+        assert!(plain.next_timer().is_none(), "no timers configured");
+        let mut ch = UdpChannel::new(1, 1, 2, now)
+            .with_keepalive(SimDuration::from_secs(5))
+            .with_timeout(SimDuration::from_secs(30));
+        assert_eq!(ch.next_timer(), Some(SimTime::from_secs(5)));
+        // Sending data pushes the keep-alive deadline out.
+        ch.send(MsgKind::Avatar, SimTime::from_secs(4), &[]).unwrap();
+        assert_eq!(ch.next_timer(), Some(SimTime::from_secs(9)));
+        // Past the keep-alive horizon, the liveness timeout is next.
+        let mut peer = UdpChannel::new(1, 2, 1, now);
+        let pkt = peer.send(MsgKind::Avatar, SimTime::from_secs(6), &[]).unwrap();
+        ch.on_packet(SimTime::from_secs(6), &pkt);
+        ch.send(MsgKind::Avatar, SimTime::from_secs(33), &[]).unwrap();
+        // Keep-alive due at 38, timeout (from last_rx = 6) due at 36.
+        assert_eq!(ch.next_timer(), Some(SimTime::from_secs(36)));
+        ch.kill();
+        assert!(ch.next_timer().is_none(), "dead channels have no timers");
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Cross-shard facts and their deterministic commit order.
+//!
+//! Shards never mutate each other. During the parallel phase of a tick
+//! each shard appends [`Fact`]s — a user leaving through a portal, a
+//! world transfer, a presence ping crossing the shard boundary — and the
+//! coordinator applies the combined set sequentially, sorted by
+//! `(time, shard, seq)`. Every component of that key comes from
+//! shard-local deterministic state (the shard's own event clock and its
+//! own fact counter), so the commit order cannot depend on how the pool
+//! interleaved shard execution.
+
+use svr_netsim::SimTime;
+use svr_platform::server::UserProfile;
+
+/// What a cross-shard fact does when committed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FactPayload {
+    /// A user walked through a portal into another room, keeping its
+    /// avatar state (§4's world-join flow, without the fresh spawn).
+    PortalHop {
+        /// Avatar state extracted from the source shard.
+        profile: UserProfile,
+        /// Destination room.
+        to_room: u32,
+    },
+    /// A user transferred to a different world group; the destination
+    /// shard respawns the avatar at its deterministic spawn spot.
+    WorldTransfer {
+        /// Avatar state extracted from the source shard.
+        profile: UserProfile,
+        /// Destination room (always in another world group).
+        to_room: u32,
+    },
+    /// A friend-presence ping that left through the shard's boundary
+    /// gateway, addressed to a user who may live on any shard.
+    Presence {
+        /// Sender's global user id.
+        from_user: u32,
+        /// Recipient's global user id.
+        to_user: u32,
+    },
+}
+
+/// One ordered cross-shard fact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fact {
+    /// Shard-local simulation time the fact was produced.
+    pub time: SimTime,
+    /// Originating shard (room id).
+    pub shard: u32,
+    /// Per-shard fact sequence number (monotonic over the run).
+    pub seq: u64,
+    /// The effect to commit.
+    pub payload: FactPayload,
+}
+
+impl Fact {
+    /// The total commit order key.
+    pub fn key(&self) -> (SimTime, u32, u64) {
+        (self.time, self.shard, self.seq)
+    }
+}
+
+/// Sort facts into commit order. `(shard, seq)` pairs are unique, so the
+/// order is total and an unstable sort is safe.
+pub fn order_facts(facts: &mut [Fact]) {
+    facts.sort_unstable_by_key(|f| f.key());
+}
+
+/// Fold one fact into a running FNV-1a digest. The digest is a compact
+/// fingerprint of the committed fact stream; equal digests across
+/// worker counts is the determinism check the artifacts carry.
+pub fn digest_fact(mut h: u64, f: &Fact) -> u64 {
+    fn eat(h: u64, v: u64) -> u64 {
+        (h ^ v).wrapping_mul(0x0000_0100_0000_01B3)
+    }
+    h = eat(h, f.time.as_secs_f64().to_bits());
+    h = eat(h, f.shard as u64);
+    h = eat(h, f.seq);
+    match &f.payload {
+        FactPayload::PortalHop { profile, to_room } => {
+            h = eat(h, 1);
+            h = eat(h, profile.user_id as u64);
+            h = eat(h, profile.position.x.to_bits() as u64);
+            h = eat(h, profile.position.y.to_bits() as u64);
+            h = eat(h, profile.position.z.to_bits() as u64);
+            h = eat(h, profile.heading_deg.to_bits() as u64);
+            h = eat(h, *to_room as u64);
+        }
+        FactPayload::WorldTransfer { profile, to_room } => {
+            h = eat(h, 2);
+            h = eat(h, profile.user_id as u64);
+            h = eat(h, profile.position.x.to_bits() as u64);
+            h = eat(h, profile.position.y.to_bits() as u64);
+            h = eat(h, profile.position.z.to_bits() as u64);
+            h = eat(h, profile.heading_deg.to_bits() as u64);
+            h = eat(h, *to_room as u64);
+        }
+        FactPayload::Presence { from_user, to_user } => {
+            h = eat(h, 3);
+            h = eat(h, *from_user as u64);
+            h = eat(h, *to_user as u64);
+        }
+    }
+    h
+}
+
+/// Seed value for the running digest (FNV-1a offset basis).
+pub const DIGEST_SEED: u64 = 0xCBF2_9CE4_8422_2325;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svr_avatar::skeleton::Vec3;
+
+    fn presence(time_ms: u64, shard: u32, seq: u64) -> Fact {
+        Fact {
+            time: SimTime::from_millis(time_ms),
+            shard,
+            seq,
+            payload: FactPayload::Presence { from_user: 1, to_user: 2 },
+        }
+    }
+
+    #[test]
+    fn commit_order_is_time_then_shard_then_seq() {
+        let mut facts = vec![
+            presence(200, 0, 5),
+            presence(100, 3, 0),
+            presence(100, 1, 2),
+            presence(100, 1, 1),
+        ];
+        order_facts(&mut facts);
+        let keys: Vec<_> = facts.iter().map(Fact::key).collect();
+        assert_eq!(
+            keys,
+            vec![
+                (SimTime::from_millis(100), 1, 1),
+                (SimTime::from_millis(100), 1, 2),
+                (SimTime::from_millis(100), 3, 0),
+                (SimTime::from_millis(200), 0, 5),
+            ]
+        );
+    }
+
+    #[test]
+    fn digest_distinguishes_payloads() {
+        let a = Fact {
+            time: SimTime::from_millis(1),
+            shard: 0,
+            seq: 0,
+            payload: FactPayload::PortalHop {
+                profile: UserProfile {
+                    user_id: 7,
+                    position: Vec3::new(1.0, 0.0, 2.0),
+                    heading_deg: 90.0,
+                },
+                to_room: 3,
+            },
+        };
+        let mut b = a;
+        b.payload = FactPayload::WorldTransfer {
+            profile: UserProfile {
+                user_id: 7,
+                position: Vec3::new(1.0, 0.0, 2.0),
+                heading_deg: 90.0,
+            },
+            to_room: 3,
+        };
+        assert_ne!(digest_fact(DIGEST_SEED, &a), digest_fact(DIGEST_SEED, &b));
+        assert_eq!(digest_fact(DIGEST_SEED, &a), digest_fact(DIGEST_SEED, &a));
+    }
+}

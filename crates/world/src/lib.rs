@@ -1,0 +1,42 @@
+//! # svr-world
+//!
+//! A sharded multi-room world on top of the per-room simulation stack.
+//!
+//! The measurement harness reproduces the paper's single-room sessions
+//! faithfully, but a social VR *platform* is thousands of concurrent
+//! rooms with users hopping between them. This crate partitions the
+//! world into room shards — each shard owns a private [`svr_netsim`]
+//! event wheel and a shard-local [`svr_platform::server::DataServer`],
+//! so nothing global leaks across rooms — and advances all shards in
+//! parallel on a work-stealing pool.
+//!
+//! Cross-shard effects (portal hops, world transfers, friend-presence
+//! pings) never touch another shard directly. During a tick each shard
+//! records them as [`fact::Fact`]s; after the parallel phase the
+//! coordinator sorts the combined facts by `(time, shard, seq)` and
+//! applies them sequentially. Because the sort key is derived purely
+//! from deterministic shard-local state, the committed world — and any
+//! artifact derived from it — is byte-identical at any worker count.
+//!
+//! ```
+//! use svr_world::{World, WorldConfig};
+//!
+//! let mut cfg = WorldConfig::small(42);
+//! cfg.jobs = 4; // any worker count commits the same facts
+//! let report = World::run(cfg);
+//! assert!(report.stats.hops > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod fact;
+pub mod pool;
+pub mod shard;
+pub mod world;
+
+pub use config::{policies, policy_label, WorldConfig};
+pub use fact::{Fact, FactPayload};
+pub use shard::RoomShard;
+pub use world::{World, WorldReport, WorldStats};

@@ -1,0 +1,148 @@
+//! The shard pool: step every shard through one commit window, in
+//! parallel, without letting parallelism near the results.
+//!
+//! Same shape as the harness scheduler (`svr-harness::scheduler`): each
+//! worker owns a deque of shard indices seeded round-robin, pops its own
+//! front, and steals from a peer's back when empty. Shards live in a
+//! slot table (`Vec<Mutex<Option<RoomShard>>>`); a worker takes the
+//! shard out, steps it, and parks shard + output in a completion slot
+//! keyed by the same index. Reassembly reads the completion table in
+//! index order, so the returned vectors are index-ordered no matter
+//! which worker ran what — and each shard's output depends only on its
+//! own deterministic state, so a steal can change *when* a shard runs
+//! but never *what* it produces.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use svr_netsim::SimTime;
+
+use crate::config::WorldConfig;
+use crate::shard::{RoomShard, ShardOutput};
+
+/// Step every shard through the window starting at `t0`, using
+/// `cfg.jobs` workers (inline when 1). Returns the shards and their
+/// outputs, both in shard-index order.
+pub fn step_shards(
+    shards: Vec<RoomShard>,
+    tick: u64,
+    t0: SimTime,
+    cfg: &WorldConfig,
+) -> (Vec<RoomShard>, Vec<ShardOutput>) {
+    let jobs = cfg.jobs.max(1);
+    if jobs == 1 || shards.len() <= 1 {
+        let mut shards = shards;
+        let mut outputs = Vec::with_capacity(shards.len());
+        for shard in shards.iter_mut() {
+            outputs.push(shard.step(tick, t0, cfg));
+        }
+        return (shards, outputs);
+    }
+
+    let n = shards.len();
+    let workers = jobs.min(n);
+    let slots: Vec<Mutex<Option<RoomShard>>> =
+        shards.into_iter().map(|s| Mutex::new(Some(s))).collect();
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((0..n).filter(|i| i % workers == w).collect()))
+        .collect();
+    type DoneSlot = Mutex<Option<(RoomShard, ShardOutput)>>;
+    let done: Vec<DoneSlot> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let slots = &slots;
+            let queues = &queues;
+            let done = &done;
+            scope.spawn(move || {
+                while let Some(idx) = claim(w, queues) {
+                    let mut shard =
+                        slots[idx].lock().expect("slot lock").take().expect("shard taken once");
+                    // Counter deltas are thread-local; `step` snapshots
+                    // around itself on this worker thread.
+                    let out = shard.step(tick, t0, cfg);
+                    *done[idx].lock().expect("done lock") = Some((shard, out));
+                }
+            });
+        }
+    });
+
+    let mut shards = Vec::with_capacity(n);
+    let mut outputs = Vec::with_capacity(n);
+    for cell in done {
+        let (shard, out) = cell
+            .into_inner()
+            .expect("done lock")
+            .expect("every shard was stepped exactly once");
+        shards.push(shard);
+        outputs.push(out);
+    }
+    (shards, outputs)
+}
+
+/// Pop the next shard index: own queue front first, then steal from a
+/// peer's back.
+fn claim(own: usize, queues: &[Mutex<VecDeque<usize>>]) -> Option<usize> {
+    if let Some(idx) = queues[own].lock().expect("queue lock").pop_front() {
+        return Some(idx);
+    }
+    for offset in 1..queues.len() {
+        let peer = (own + offset) % queues.len();
+        if let Some(idx) = queues[peer].lock().expect("queue lock").pop_back() {
+            return Some(idx);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::spawn_spot;
+    use svr_platform::server::UserProfile;
+
+    fn build(cfg: &WorldConfig) -> Vec<RoomShard> {
+        let mut shards: Vec<RoomShard> =
+            (0..cfg.rooms as u32).map(|r| RoomShard::new(r, cfg)).collect();
+        for u in 0..cfg.total_users() as u32 {
+            let room = u / cfg.users_per_room as u32;
+            let profile = UserProfile { user_id: u, position: spawn_spot(u), heading_deg: 0.0 };
+            shards[room as usize].admit(&profile, SimTime::ZERO);
+        }
+        shards
+    }
+
+    #[test]
+    fn parallel_outputs_match_inline_outputs() {
+        let mut inline_cfg = WorldConfig::small(11).validated();
+        inline_cfg.jobs = 1;
+        let mut pool_cfg = inline_cfg.clone();
+        pool_cfg.jobs = 4;
+
+        let (_, inline_out) = step_shards(build(&inline_cfg), 0, SimTime::ZERO, &inline_cfg);
+        let (_, pool_out) = step_shards(build(&pool_cfg), 0, SimTime::ZERO, &pool_cfg);
+
+        assert_eq!(inline_out.len(), pool_out.len());
+        for (a, b) in inline_out.iter().zip(&pool_out) {
+            assert_eq!(a.room, b.room, "index order must be preserved");
+            assert_eq!(a.facts, b.facts);
+            assert_eq!(a.messages, b.messages);
+            assert_eq!(a.events, b.events);
+            assert_eq!(a.packets, b.packets);
+        }
+    }
+
+    #[test]
+    fn more_workers_than_shards_is_fine() {
+        let mut cfg = WorldConfig::small(3).validated();
+        cfg.rooms = 2;
+        cfg.users_per_room = 4;
+        cfg.jobs = 16;
+        let cfg = cfg.validated();
+        let (shards, outputs) = step_shards(build(&cfg), 0, SimTime::ZERO, &cfg);
+        assert_eq!(shards.len(), 2);
+        assert_eq!(outputs.len(), 2);
+        assert_eq!(outputs[0].room, 0);
+        assert_eq!(outputs[1].room, 1);
+    }
+}

@@ -32,8 +32,10 @@ out_dir="$(mktemp -d)"
 trap 'rm -rf "$out_dir"' EXIT
 # A cheap selection that still exercises multi-unit merging (fig3 has
 # two per-platform units); the heavyweight sweeps would cost minutes
-# each and share the exact same merge path.
-selection="table1,table2,vantage,fig3"
+# each and share the exact same merge path. `world` additionally runs
+# its own internal shard pool per unit, so this gate also proves the
+# cross-shard ordered commit is byte-identical across worker counts.
+selection="table1,table2,vantage,fig3,world"
 ./target/release/examples/reproduce_all --only "$selection" --jobs 1 --out "$out_dir/j1" > /dev/null
 ./target/release/examples/reproduce_all --only "$selection" --jobs 8 --out "$out_dir/j8" > /dev/null
 scripts/compare_artifact_dirs.sh "$out_dir/j1" "$out_dir/j8"

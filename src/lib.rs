@@ -32,6 +32,7 @@ pub use svr_geo as geo;
 pub use svr_netsim as netsim;
 pub use svr_platform as platform;
 pub use svr_transport as transport;
+pub use svr_world as world;
 
 /// The paper's five platforms, re-exported for convenience.
 pub use svr_platform::PlatformId;
